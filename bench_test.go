@@ -1,0 +1,168 @@
+package mmdb
+
+// One benchmark per table and figure of the paper. Each iteration
+// regenerates the corresponding experiment (at a reduced scale where the
+// full 1984 workload would be wastefully slow on every -benchmem run);
+// `go run ./cmd/mmdbench` prints the full-size outputs recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+	"time"
+
+	"mmdb/internal/core"
+	"mmdb/internal/cost"
+	"mmdb/internal/experiments"
+	"mmdb/internal/join"
+	"mmdb/internal/simio"
+	"mmdb/internal/workload"
+)
+
+// BenchmarkTable1Analytic prices the §2 crossover grid (Table 1).
+func BenchmarkTable1Analytic(b *testing.B) {
+	base := core.AccessParams{R: 1_000_000, K: 8, L: 100, P: 4096}
+	ys := []float64{0.5, 0.7, 0.9, 1.0}
+	zs := []float64{10, 20, 30}
+	for i := 0; i < b.N; i++ {
+		core.Table1(base, ys, zs, 1000)
+	}
+}
+
+// BenchmarkTable1Empirical drives real AVL and B+-tree lookups through the
+// random-replacement buffer pool (Table 1 validation).
+func BenchmarkTable1Empirical(b *testing.B) {
+	cfg := experiments.DefaultTable1Config()
+	cfg.EmpiricalR = 10000
+	cfg.Lookups = 300
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Analytic evaluates the four §3 cost formulas over the
+// whole ratio grid (Figure 1, analytic curves).
+func BenchmarkFigure1Analytic(b *testing.B) {
+	p := cost.DefaultParams()
+	w := core.Table2Workload()
+	ratios := core.DefaultRatios()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure1(p, w, ratios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Executed runs all four real join operators at one
+// representative memory point of the scaled-down Figure 1 workload.
+func BenchmarkFigure1Executed(b *testing.B) {
+	for _, alg := range []join.Algorithm{join.SortMerge, join.SimpleHash, join.GraceHash, join.HybridHash} {
+		b.Run(alg.String(), func(b *testing.B) {
+			clock := cost.NewClock(cost.DefaultParams())
+			disk := simio.NewDisk(clock, 4096)
+			r := workload.MustGenerate(disk, workload.RelationSpec{Name: "R", Tuples: 10000, KeyDomain: 10000, Seed: 1})
+			s := workload.MustGenerate(disk, workload.RelationSpec{Name: "S", Tuples: 10000, KeyDomain: 10000, Seed: 2})
+			spec := join.Spec{R: r, S: s, M: 60, F: 1.2}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := join.Run(alg, spec, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Sweep prices every corner of the sensitivity box
+// (Table 3).
+func BenchmarkTable3Sweep(b *testing.B) {
+	settings := core.Table3Settings()
+	ratios := core.DefaultRatios()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Table3Sweep(settings, ratios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregates runs the §3.9 hash aggregate at tight and ample
+// memory.
+func BenchmarkAggregates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAgg(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanner runs the §4 full-vs-hash-only optimization comparison.
+func BenchmarkPlanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPlanner(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryThroughput simulates the §5.2/§5.4 commit disciplines
+// for one virtual second each and reports virtual TPS.
+func BenchmarkRecoveryThroughput(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  RecoveryConfig
+	}{
+		{"flush-per-commit", RecoveryConfig{Policy: FlushPerCommit}},
+		{"group-commit", RecoveryConfig{Policy: GroupCommit}},
+		{"group-commit-4logs", RecoveryConfig{Policy: GroupCommit, LogDevices: 4, Terminals: 200}},
+		{"stable-memory", RecoveryConfig{Policy: StableMemoryCommit}},
+		{"stable-compressed", RecoveryConfig{Policy: StableMemoryCommit, CompressLog: true}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var tps float64
+			for i := 0; i < b.N; i++ {
+				cfg := tc.cfg
+				cfg.Seed = int64(i)
+				sim, err := NewRecoverySim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats := sim.Run(time.Second)
+				tps = stats.TPS
+			}
+			b.ReportMetric(tps, "virtual-tps")
+		})
+	}
+}
+
+// BenchmarkAblations runs the footnote/future-work studies (paged binary
+// tree, replacement policies, partition sizing, TID modeling, versioning
+// vs locking).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblations(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRecovery measures crash recovery after a checkpointed
+// run (§5.3/§5.5).
+func BenchmarkCheckpointRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim, err := NewRecoverySim(RecoveryConfig{
+			Policy:     GroupCommit,
+			Accounts:   4096,
+			Checkpoint: true,
+			Seed:       int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run(time.Second)
+		if _, _, err := sim.CrashAndRecover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Command mmdbcli is a small interactive shell over the mmdb engine, for
+// poking at relations, indexes, joins and the virtual-clock accounting.
+//
+//	$ go run ./cmd/mmdbcli
+//	mmdb> demo 10000
+//	mmdb> relations
+//	mmdb> lookup emp id 42
+//	mmdb> join emp dept dept id hybrid
+//	mmdb> agg emp dept salary
+//	mmdb> counters
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mmdb"
+)
+
+func main() {
+	db := mmdb.MustOpen(mmdb.Options{})
+	fmt.Println("mmdb shell — 'help' for commands, 'quit' to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("mmdb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		if err := dispatch(db, args); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func dispatch(db *mmdb.Database, args []string) error {
+	switch args[0] {
+	case "quit", "exit":
+		return errQuit
+	case "help":
+		fmt.Print(`commands:
+  demo N                     load emp(N tuples) and dept(8) sample relations
+  relations                  list relations
+  scan REL N                 print the first N tuples of REL
+  index REL COL btree|avl    build an index
+  lookup REL COL INT         point lookup (indexed if available)
+  range REL COL INT N        print N tuples with COL >= INT (needs index)
+  join R S RCOL SCOL ALG     ALG: auto|nested|sortmerge|simple|grace|hybrid
+  agg REL GROUPCOL VALCOL    grouped count/sum/avg
+  distinct REL COL           duplicate elimination
+  select REL COL OP INT N    filter scan; OP: eq|ne|lt|le|gt|ge
+  hist REL COL               build a 16-bucket histogram for estimates
+  export REL FILE            dump the relation as CSV (with header)
+  import REL FILE            load CSV rows (with header) into REL
+  counters                   virtual clock + operation counters
+  reset                      reset the virtual clock
+  quit
+`)
+		return nil
+	case "demo":
+		n := 10000
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil {
+				return err
+			}
+			n = v
+		}
+		return loadDemo(db, n)
+	case "relations":
+		for _, name := range db.Relations() {
+			rel, err := db.Relation(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-12s %8d tuples %6d pages  %v\n", name, rel.NumTuples(), rel.NumPages(), rel.Schema())
+		}
+		return nil
+	case "scan":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: scan REL N")
+		}
+		rel, err := db.Relation(args[1])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		i := 0
+		return rel.Scan(func(t mmdb.Tuple) bool {
+			fmt.Println(" ", rel.Schema().Format(t))
+			i++
+			return i < n
+		})
+	case "index":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: index REL COL btree|avl")
+		}
+		rel, err := db.Relation(args[1])
+		if err != nil {
+			return err
+		}
+		kind := mmdb.BTree
+		if args[3] == "avl" {
+			kind = mmdb.AVL
+		}
+		return rel.CreateIndex(args[2], kind)
+	case "lookup":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: lookup REL COL INT")
+		}
+		rel, err := db.Relation(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil {
+			return err
+		}
+		rows, err := rel.Lookup(args[2], mmdb.IntValue(v))
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(" ", rel.Schema().Format(r))
+		}
+		fmt.Printf("  (%d rows)\n", len(rows))
+		return nil
+	case "range":
+		if len(args) != 5 {
+			return fmt.Errorf("usage: range REL COL INT N")
+		}
+		rel, err := db.Relation(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[4])
+		if err != nil {
+			return err
+		}
+		i := 0
+		return rel.AscendRange(args[2], mmdb.IntValue(v), func(t mmdb.Tuple) bool {
+			fmt.Println(" ", rel.Schema().Format(t))
+			i++
+			return i < n
+		})
+	case "join":
+		if len(args) != 6 {
+			return fmt.Errorf("usage: join R S RCOL SCOL auto|nested|sortmerge|simple|grace|hybrid")
+		}
+		alg, err := parseAlg(args[5])
+		if err != nil {
+			return err
+		}
+		res, err := db.Join(alg, args[1], args[2], args[3], args[4], nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d matches via %v in %v virtual (%s)\n", res.Matches, res.Algorithm, res.Elapsed, res.Counters)
+		return nil
+	case "agg":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: agg REL GROUPCOL VALCOL")
+		}
+		groups, err := db.Aggregate(args[1], args[2], args[3])
+		if err != nil {
+			return err
+		}
+		for _, g := range groups {
+			fmt.Printf("  %v: count=%d sum=%d avg=%.1f\n", g.Key, g.Count, g.Sum, g.Value(mmdb.Avg))
+		}
+		return nil
+	case "distinct":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: distinct REL COL")
+		}
+		vals, err := db.Distinct(args[1], args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d distinct values\n", len(vals))
+		return nil
+	case "select":
+		if len(args) != 6 {
+			return fmt.Errorf("usage: select REL COL OP INT N")
+		}
+		op, err := parseOp(args[3])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(args[4], 10, 64)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[5])
+		if err != nil {
+			return err
+		}
+		p, err := db.Where(args[1], args[2], op, mmdb.IntValue(v))
+		if err != nil {
+			return err
+		}
+		rel, err := db.Relation(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  estimated selectivity %.3f\n", p.EstimatedSelectivity())
+		i := 0
+		err = rel.Select(p, func(t mmdb.Tuple) bool {
+			fmt.Println(" ", rel.Schema().Format(t))
+			i++
+			return i < n
+		})
+		fmt.Printf("  (%d rows shown)\n", i)
+		return err
+	case "hist":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: hist REL COL")
+		}
+		return db.BuildHistogram(args[1], args[2], 16)
+	case "export":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: export REL FILE")
+		}
+		rel, err := db.Relation(args[1])
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(args[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return rel.ExportCSV(f, true)
+	case "import":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: import REL FILE")
+		}
+		rel, err := db.Relation(args[1])
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(args[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := rel.ImportCSV(f, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  imported %d rows\n", n)
+		return nil
+	case "counters":
+		fmt.Printf("  virtual time %v, %s\n", db.VirtualTime(), db.Counters())
+		return nil
+	case "reset":
+		db.ResetClock()
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", args[0])
+	}
+}
+
+func parseOp(s string) (mmdb.CompareOp, error) {
+	switch s {
+	case "eq":
+		return mmdb.Eq, nil
+	case "ne":
+		return mmdb.Ne, nil
+	case "lt":
+		return mmdb.Lt, nil
+	case "le":
+		return mmdb.Le, nil
+	case "gt":
+		return mmdb.Gt, nil
+	case "ge":
+		return mmdb.Ge, nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q", s)
+	}
+}
+
+func parseAlg(s string) (mmdb.JoinAlgorithm, error) {
+	switch s {
+	case "auto":
+		return mmdb.AutoJoin, nil
+	case "nested":
+		return mmdb.NestedLoops, nil
+	case "sortmerge":
+		return mmdb.SortMerge, nil
+	case "simple":
+		return mmdb.SimpleHash, nil
+	case "grace":
+		return mmdb.GraceHash, nil
+	case "hybrid":
+		return mmdb.HybridHash, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func loadDemo(db *mmdb.Database, n int) error {
+	emp, err := db.CreateRelation("emp", mmdb.MustSchema(
+		mmdb.Field{Name: "id", Kind: mmdb.Int64},
+		mmdb.Field{Name: "dept", Kind: mmdb.Int64},
+		mmdb.Field{Name: "salary", Kind: mmdb.Int64},
+		mmdb.Field{Name: "name", Kind: mmdb.String, Size: 16},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		err := emp.Insert(
+			mmdb.IntValue(int64(i)),
+			mmdb.IntValue(int64(i%8)),
+			mmdb.IntValue(int64(40000+(i*37)%30000)),
+			mmdb.StringValue(fmt.Sprintf("emp%05d", i)),
+		)
+		if err != nil {
+			return err
+		}
+	}
+	if err := emp.Flush(); err != nil {
+		return err
+	}
+	dept, err := db.CreateRelation("dept", mmdb.MustSchema(
+		mmdb.Field{Name: "id", Kind: mmdb.Int64},
+		mmdb.Field{Name: "label", Kind: mmdb.String, Size: 16},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		if err := dept.Insert(mmdb.IntValue(int64(i)), mmdb.StringValue(fmt.Sprintf("dept-%d", i))); err != nil {
+			return err
+		}
+	}
+	if err := dept.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("  loaded emp(%d) and dept(8)\n", n)
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmdb"
+)
+
+func run(t *testing.T, db *mmdb.Database, line string) error {
+	t.Helper()
+	return dispatch(db, strings.Fields(line))
+}
+
+func must(t *testing.T, db *mmdb.Database, line string) {
+	t.Helper()
+	if err := run(t, db, line); err != nil {
+		t.Fatalf("%q: %v", line, err)
+	}
+}
+
+func TestDispatchWorkflow(t *testing.T) {
+	db := mmdb.MustOpen(mmdb.Options{})
+	must(t, db, "help")
+	if err := run(t, db, "demo 500"); err != nil {
+		t.Fatal(err)
+	}
+	must(t, db, "relations")
+	must(t, db, "scan emp 2")
+	must(t, db, "index emp id btree")
+	must(t, db, "lookup emp id 42")
+	must(t, db, "range emp id 490 5")
+	must(t, db, "join emp dept dept id auto")
+	must(t, db, "join emp dept dept id sortmerge")
+	must(t, db, "agg emp dept salary")
+	must(t, db, "distinct emp dept")
+	must(t, db, "hist emp salary")
+	must(t, db, "select emp salary ge 40000 2")
+	must(t, db, "counters")
+	must(t, db, "reset")
+
+	csv := filepath.Join(t.TempDir(), "emp.csv")
+	must(t, db, "export emp "+csv)
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatal(err)
+	}
+	must(t, db, "import emp "+csv)
+	rel, err := db.Relation("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumTuples() != 1000 {
+		t.Fatalf("after re-import: %d tuples", rel.NumTuples())
+	}
+
+	if err := run(t, db, "quit"); err != errQuit {
+		t.Fatalf("quit returned %v", err)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	db := mmdb.MustOpen(mmdb.Options{})
+	for _, line := range []string{
+		"bogus",
+		"scan missing 3",
+		"scan",
+		"lookup emp id notanumber",
+		"join a b c d warp",
+		"select emp salary zz 1 1",
+		"import emp /no/such/file.csv",
+		"range emp id 1", // wrong arity
+	} {
+		if err := run(t, db, line); err == nil {
+			t.Errorf("%q accepted", line)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if op, err := parseOp("le"); err != nil || op != mmdb.Le {
+		t.Fatalf("parseOp(le) = %v, %v", op, err)
+	}
+	if _, err := parseOp("nope"); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if alg, err := parseAlg("grace"); err != nil || alg != mmdb.GraceHash {
+		t.Fatalf("parseAlg(grace) = %v, %v", alg, err)
+	}
+	if _, err := parseAlg("nope"); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}

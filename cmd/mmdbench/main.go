@@ -1,0 +1,116 @@
+// Command mmdbench regenerates the tables and figures of "Implementation
+// Techniques for Main Memory Database Systems" (SIGMOD 1984).
+//
+// Usage:
+//
+//	mmdbench -exp all                 # everything (EXPERIMENTS.md source)
+//	mmdbench -exp table1              # §2 AVL vs B+-tree crossover
+//	mmdbench -exp table2              # parameter settings
+//	mmdbench -exp figure1             # §3 join algorithm comparison
+//	mmdbench -exp figure1 -full       # also execute at full Table 2 scale (slow)
+//	mmdbench -exp table3              # §3.8 sensitivity sweep
+//	mmdbench -exp agg                 # §3.9 aggregates/projection
+//	mmdbench -exp planner             # §4 planning reduction
+//	mmdbench -exp recovery            # §5 throughput ladder
+//	mmdbench -exp checkpoint          # §5.3/§5.5 checkpoint sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mmdb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation")
+	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
+	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "mmdbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table2", func() error {
+		experiments.PrintTable2(os.Stdout)
+		return nil
+	})
+	run("table1", func() error {
+		res, err := experiments.RunTable1(experiments.DefaultTable1Config())
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+	run("figure1", func() error {
+		cfg := experiments.DefaultFigure1Config()
+		if *full {
+			cfg.ScaleDiv = 1
+		}
+		res, err := experiments.RunFigure1(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+	run("table3", func() error {
+		res, err := experiments.RunTable3()
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+	run("agg", func() error {
+		res, err := experiments.RunAgg()
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+	run("planner", func() error {
+		res, err := experiments.RunPlanner()
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+	run("recovery", func() error {
+		res, err := experiments.RunRecoveryLadder(*dur)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+	run("checkpoint", func() error {
+		res, err := experiments.RunCheckpointSweep(3 * time.Second)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+	run("ablation", func() error {
+		res, err := experiments.RunAblations()
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+}

@@ -1,0 +1,56 @@
+// Recovery: walk through §5 on the banking workload — compare the three
+// commit disciplines' throughput, then crash a checkpointed engine
+// mid-flight and recover it, printing what recovery had to do.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mmdb"
+)
+
+func main() {
+	fmt.Println("§5: commit disciplines on one 10 ms log device (5 s virtual run)")
+	fmt.Printf("  %-28s %10s %12s\n", "policy", "TPS", "commits/page")
+	for _, c := range []struct {
+		name string
+		cfg  mmdb.RecoveryConfig
+	}{
+		{"flush per commit", mmdb.RecoveryConfig{Policy: mmdb.FlushPerCommit}},
+		{"group commit (§5.2)", mmdb.RecoveryConfig{Policy: mmdb.GroupCommit}},
+		{"stable memory (§5.4)", mmdb.RecoveryConfig{Policy: mmdb.StableMemoryCommit}},
+		{"stable + compression", mmdb.RecoveryConfig{Policy: mmdb.StableMemoryCommit, CompressLog: true}},
+		{"group commit, 4 logs", mmdb.RecoveryConfig{Policy: mmdb.GroupCommit, LogDevices: 4, Terminals: 200}},
+	} {
+		sim, err := mmdb.NewRecoverySim(c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := sim.Run(5 * time.Second)
+		fmt.Printf("  %-28s %10.1f %12.2f\n", c.name, st.TPS, st.MeanGroupSize)
+	}
+
+	fmt.Println("\ncrash + recovery with background checkpointing (§5.3, §5.5):")
+	sim, err := mmdb.NewRecoverySim(mmdb.RecoveryConfig{
+		Policy:     mmdb.GroupCommit,
+		Accounts:   8192,
+		Checkpoint: true,
+		Seed:       42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, info, committed, err := sim.RunAndCrash(3*time.Second, 2900*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ran 3 s (crash captured at 2.9 s): %d commits (%.1f tps), %d checkpoint pages\n",
+		st.Committed, st.TPS, st.CkptPages)
+	fmt.Printf("  crash!  recovery found %d committed txns, %d in-flight losers\n", committed, info.Losers)
+	fmt.Printf("  redo: %d update records re-applied (of %d log records scanned)\n",
+		info.Redone, info.LogScanned)
+	fmt.Printf("  undo: %d loser updates rolled back by pre-image\n", info.Undone)
+	fmt.Println("  the stable first-update table bounded redo to the post-checkpoint log tail.")
+}

@@ -1,0 +1,3 @@
+module mmdb
+
+go 1.22

@@ -1,0 +1,295 @@
+// Package agg implements the §3.9 hash-based algorithms for the remaining
+// relational operations: grouped aggregate functions and projection with
+// duplicate elimination.
+//
+// When the result (one tuple per group) fits in memory, a one-pass hashing
+// algorithm wins: every incoming tuple is hashed on the grouping attribute.
+// When it does not, the operator falls back to hybrid-hash style
+// partitioning — grouping identical values is the same problem as joining
+// on them, so the partitioning machinery is shared with the join package.
+package agg
+
+import (
+	"fmt"
+
+	"mmdb/internal/hashjoin"
+	"mmdb/internal/heap"
+	"mmdb/internal/simio"
+	"mmdb/internal/tuple"
+)
+
+// Func identifies an aggregate function.
+type Func int
+
+// Aggregate functions.
+const (
+	Count Func = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+func (f Func) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// Group is one output row of an aggregate.
+type Group struct {
+	Key   tuple.Value
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+}
+
+// Value returns the aggregate under f.
+func (g Group) Value(f Func) float64 {
+	switch f {
+	case Count:
+		return float64(g.Count)
+	case Sum:
+		return float64(g.Sum)
+	case Min:
+		return float64(g.Min)
+	case Max:
+		return float64(g.Max)
+	case Avg:
+		if g.Count == 0 {
+			return 0
+		}
+		return float64(g.Sum) / float64(g.Count)
+	default:
+		panic(fmt.Sprintf("agg: invalid func %d", int(f)))
+	}
+}
+
+// Spec describes a grouped aggregate over an int64 value column.
+type Spec struct {
+	Input    *heap.File
+	GroupCol int // grouping attribute
+	ValueCol int // aggregated attribute (must be Int64); ignored for Count-only use
+	M        int // pages of memory
+	F        float64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.F == 0 {
+		s.F = 1.2
+	}
+	return s
+}
+
+// Result carries the output groups and execution shape.
+type Result struct {
+	Groups     []Group
+	Passes     int // 1 = pure one-pass hashing
+	Partitions int
+}
+
+// Hash executes the aggregate. If the group table overflows memory the
+// input is hash-partitioned to disk (hybrid style: the resident fraction
+// aggregates on the fly) and each partition is aggregated recursively.
+func Hash(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	if spec.Input == nil {
+		return nil, fmt.Errorf("agg: nil input")
+	}
+	schema := spec.Input.Schema()
+	if spec.ValueCol < 0 || spec.ValueCol >= schema.NumFields() || schema.Field(spec.ValueCol).Kind != tuple.Int64 {
+		return nil, fmt.Errorf("agg: value column must be an int64 field")
+	}
+	if spec.GroupCol < 0 || spec.GroupCol >= schema.NumFields() {
+		return nil, fmt.Errorf("agg: group column %d out of range", spec.GroupCol)
+	}
+	if spec.M < 2 {
+		return nil, fmt.Errorf("agg: need at least 2 pages of memory")
+	}
+	res := &Result{Passes: 1}
+	if err := aggregate(spec, spec.Input, simio.Uncharged, 0, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// groupsPerPage estimates how many group cells fit one page; a group cell
+// is a key plus four counters.
+func groupsPerPage(spec Spec) int {
+	schema := spec.Input.Schema()
+	cell := schema.FieldWidth(spec.GroupCol) + 32
+	return spec.Input.Disk().PageSize() / cell
+}
+
+func aggregate(spec Spec, in *heap.File, access simio.Access, level uint32, res *Result) error {
+	clock := in.Disk().Clock()
+	schema := in.Schema()
+	capacity := int(float64(spec.M*groupsPerPage(spec)) / spec.F)
+	if capacity < 1 {
+		capacity = 1
+	}
+	hasher := hashjoin.NewHasher(clock, level)
+
+	type cell struct {
+		g    Group
+		key  []byte
+		hash uint64
+	}
+	table := make(map[uint64][]*cell)
+	var count int
+
+	// Overflow partitions are created lazily on first overflow.
+	var parts *hashjoin.Partitioner
+	var splitter *hashjoin.Splitter
+	b := 0
+
+	scanErr := in.Scan(access, func(t tuple.Tuple) bool {
+		key := schema.KeyBytes(t, spec.GroupCol)
+		h := hasher.Hash(key)
+		// Probe the group table (one comparison per candidate, as in the
+		// join probes).
+		for _, c := range table[h] {
+			clock.Comps(1)
+			if string(c.key) == string(key) {
+				v := schema.Int(t, spec.ValueCol)
+				c.g.Count++
+				c.g.Sum += v
+				if v < c.g.Min {
+					c.g.Min = v
+				}
+				if v > c.g.Max {
+					c.g.Max = v
+				}
+				return true
+			}
+		}
+		if count < capacity {
+			v := schema.Int(t, spec.ValueCol)
+			clock.Moves(1)
+			table[h] = append(table[h], &cell{
+				g:   Group{Key: schema.Get(t, spec.GroupCol), Count: 1, Sum: v, Min: v, Max: v},
+				key: append([]byte(nil), key...),
+			})
+			count++
+			return true
+		}
+		// Result exceeds memory ("probably a very unlikely event", §3.9):
+		// spill the tuple to a hash partition for a later pass.
+		var err error
+		if parts == nil {
+			b = spec.M - 1
+			if b < 1 {
+				b = 1
+			}
+			if b > 64 {
+				b = 64
+			}
+			splitter = hashjoin.Uniform(b)
+			flush := simio.Rand
+			if b == 1 {
+				flush = simio.Seq
+			}
+			parts, err = hashjoin.NewPartitioner(in.Disk(), clock, schema,
+				fmt.Sprintf("%s.agg%d", in.Name(), level), b, flush)
+			if err != nil {
+				return false
+			}
+			res.Partitions += b
+		}
+		err = parts.Add(splitter.Partition(h), t)
+		return err == nil
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+
+	for _, bucket := range table {
+		for _, c := range bucket {
+			res.Groups = append(res.Groups, c.g)
+		}
+	}
+
+	if parts == nil {
+		return nil
+	}
+	out, err := parts.Close()
+	if err != nil {
+		return err
+	}
+	if int(level)+2 > res.Passes {
+		res.Passes = int(level) + 2
+	}
+	for _, pr := range out {
+		if pr.Tuples == 0 {
+			pr.File.Drop()
+			continue
+		}
+		if err := aggregate(spec, pr.File, simio.Seq, level+1, res); err != nil {
+			return err
+		}
+		pr.File.Drop()
+	}
+	return nil
+}
+
+// Distinct performs projection with duplicate elimination on one column
+// (§3.9: "in projection we are grouping identical tuples"): it returns the
+// distinct values of col in input order of first appearance, using the
+// same memory-bounded hash machinery.
+func Distinct(in *heap.File, col int, m int, f float64) ([]tuple.Value, error) {
+	spec := Spec{Input: in, GroupCol: col, ValueCol: col, M: m, F: f}
+	schema := in.Schema()
+	if schema.Field(col).Kind != tuple.Int64 {
+		// Reuse the aggregate over a synthetic value by counting only.
+		return distinctBytes(in, col, m, f)
+	}
+	res, err := Hash(spec)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]tuple.Value, len(res.Groups))
+	for i, g := range res.Groups {
+		vals[i] = g.Key
+	}
+	return vals, nil
+}
+
+// distinctBytes handles non-integer columns with the same algorithm but a
+// byte-string group table.
+func distinctBytes(in *heap.File, col int, m int, f float64) ([]tuple.Value, error) {
+	if f == 0 {
+		f = 1.2
+	}
+	clock := in.Disk().Clock()
+	schema := in.Schema()
+	hasher := hashjoin.NewHasher(clock, 0)
+	seen := make(map[uint64][][]byte)
+	var out []tuple.Value
+	err := in.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+		key := schema.KeyBytes(t, col)
+		h := hasher.Hash(key)
+		for _, k := range seen[h] {
+			clock.Comps(1)
+			if string(k) == string(key) {
+				return true
+			}
+		}
+		clock.Moves(1)
+		seen[h] = append(seen[h], append([]byte(nil), key...))
+		out = append(out, schema.Get(t, col))
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,218 @@
+package agg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/heap"
+	"mmdb/internal/simio"
+	"mmdb/internal/tuple"
+)
+
+func env() *simio.Disk {
+	return simio.NewDisk(cost.NewClock(cost.DefaultParams()), 256)
+}
+
+var aggSchema = tuple.MustSchema(
+	tuple.Field{Name: "grp", Kind: tuple.Int64},
+	tuple.Field{Name: "val", Kind: tuple.Int64},
+)
+
+func load(t testing.TB, disk *simio.Disk, name string, rows [][2]int64) *heap.File {
+	t.Helper()
+	f, err := heap.Create(disk, name, aggSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := f.Append(aggSchema.MustEncode(tuple.IntValue(r[0]), tuple.IntValue(r[1])), simio.Uncharged); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Flush(simio.Uncharged); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func oracle(rows [][2]int64) map[int64]Group {
+	out := map[int64]Group{}
+	for _, r := range rows {
+		g, ok := out[r[0]]
+		if !ok {
+			g = Group{Key: tuple.IntValue(r[0]), Min: r[1], Max: r[1]}
+		}
+		g.Count++
+		g.Sum += r[1]
+		if r[1] < g.Min {
+			g.Min = r[1]
+		}
+		if r[1] > g.Max {
+			g.Max = r[1]
+		}
+		out[r[0]] = g
+	}
+	return out
+}
+
+func checkGroups(t *testing.T, got []Group, rows [][2]int64) {
+	t.Helper()
+	want := oracle(rows)
+	if len(got) != len(want) {
+		t.Fatalf("%d groups, want %d", len(got), len(want))
+	}
+	for _, g := range got {
+		w, ok := want[g.Key.I]
+		if !ok {
+			t.Fatalf("unexpected group %v", g.Key)
+		}
+		if g.Count != w.Count || g.Sum != w.Sum || g.Min != w.Min || g.Max != w.Max {
+			t.Fatalf("group %v: got %+v want %+v", g.Key, g, w)
+		}
+	}
+}
+
+func TestOnePassAggregate(t *testing.T) {
+	disk := env()
+	rows := [][2]int64{{1, 10}, {2, 5}, {1, -3}, {3, 7}, {2, 5}}
+	f := load(t, disk, "r", rows)
+	res, err := Hash(Spec{Input: f, GroupCol: 0, ValueCol: 1, M: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes != 1 || res.Partitions != 0 {
+		t.Fatalf("expected one pass, got %+v", res)
+	}
+	checkGroups(t, res.Groups, rows)
+	// Derived aggregates.
+	for _, g := range res.Groups {
+		if g.Key.I == 1 {
+			if g.Value(Avg) != 3.5 || g.Value(Count) != 2 || g.Value(Sum) != 7 ||
+				g.Value(Min) != -3 || g.Value(Max) != 10 {
+				t.Fatalf("derived values wrong: %+v", g)
+			}
+		}
+	}
+}
+
+func TestOverflowSpillsAndRecurses(t *testing.T) {
+	disk := env()
+	var rows [][2]int64
+	for i := int64(0); i < 3000; i++ {
+		rows = append(rows, [2]int64{i % 700, i})
+	}
+	f := load(t, disk, "r", rows)
+	clock := disk.Clock()
+	before := clock.Counters()
+	res, err := Hash(Spec{Input: f, GroupCol: 0, ValueCol: 1, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 2 {
+		t.Fatalf("expected spill passes, got %d", res.Passes)
+	}
+	delta := clock.Counters().Sub(before)
+	if delta.SeqIOs+delta.RandIOs == 0 {
+		t.Fatal("overflow did no IO")
+	}
+	checkGroups(t, res.Groups, rows)
+}
+
+func TestSpecValidation(t *testing.T) {
+	disk := env()
+	f := load(t, disk, "r", [][2]int64{{1, 1}})
+	bad := []Spec{
+		{Input: nil, M: 8},
+		{Input: f, GroupCol: 0, ValueCol: 9, M: 8},
+		{Input: f, GroupCol: -1, ValueCol: 1, M: 8},
+		{Input: f, GroupCol: 0, ValueCol: 1, M: 1},
+	}
+	for i, s := range bad {
+		if _, err := Hash(s); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDistinctInt(t *testing.T) {
+	disk := env()
+	f := load(t, disk, "r", [][2]int64{{5, 0}, {3, 0}, {5, 0}, {9, 0}, {3, 0}})
+	vals, err := Distinct(f, 0, 16, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, v := range vals {
+		got = append(got, v.I)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestDistinctString(t *testing.T) {
+	disk := env()
+	sc := tuple.MustSchema(tuple.Field{Name: "s", Kind: tuple.String, Size: 8})
+	f, err := heap.Create(disk, "s", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"b", "a", "b", "c", "a"} {
+		f.Append(sc.MustEncode(tuple.StringValue(s)), simio.Uncharged)
+	}
+	f.Flush(simio.Uncharged)
+	vals, err := Distinct(f, 0, 16, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("distinct strings = %v", vals)
+	}
+	// First-appearance order preserved.
+	if vals[0].S != "b" || vals[1].S != "a" || vals[2].S != "c" {
+		t.Fatalf("order = %v", vals)
+	}
+}
+
+// TestQuickAggEqualsOracle: for random rows and tight memory, the hash
+// aggregate (possibly spilling) equals the map oracle.
+func TestQuickAggEqualsOracle(t *testing.T) {
+	f := func(seed int64, n16 uint16, keys8, m8 uint8) bool {
+		n := int(n16)%800 + 1
+		keys := int64(keys8)%80 + 1
+		m := int(m8)%8 + 2
+		rows := make([][2]int64, n)
+		s := seed
+		for i := range rows {
+			s = s*6364136223846793005 + 1442695040888963407
+			rows[i] = [2]int64{(s >> 3) % keys, (s >> 7) % 1000}
+			if rows[i][0] < 0 {
+				rows[i][0] = -rows[i][0]
+			}
+		}
+		disk := env()
+		file := load(t, disk, "q", rows)
+		res, err := Hash(Spec{Input: file, GroupCol: 0, ValueCol: 1, M: m})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := oracle(rows)
+		if len(res.Groups) != len(want) {
+			return false
+		}
+		for _, g := range res.Groups {
+			w := want[g.Key.I]
+			if g.Count != w.Count || g.Sum != w.Sum || g.Min != w.Min || g.Max != w.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

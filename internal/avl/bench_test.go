@@ -1,0 +1,28 @@
+package avl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	tr := &Tree{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(key(int64(i*2654435761)), tup(int64(i)))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tr := &Tree{}
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		tr.Insert(key(int64(k)), tup(int64(k)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(key(int64(perm[i%n])), nil)
+	}
+}

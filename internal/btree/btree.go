@@ -1,0 +1,551 @@
+// Package btree implements the page-structured B+-tree of §2 of the paper:
+// the standard disk access method it compares the AVL tree against.
+//
+// Geometry follows the paper exactly: with page size P, key width K and
+// pointer width B, an interior node holds up to P/(K+B) children and a
+// leaf holds up to P/L tuples of width L. Nodes are kept as in-memory
+// structures carrying page IDs so the Table 1 experiments can replay
+// traversals through a buffer pool; Yao's observation that nodes average
+// 69% full emerges from random insertion and is also available directly as
+// a bulk-load fill factor.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"mmdb/internal/page"
+	"mmdb/internal/tuple"
+)
+
+// NodeID identifies a tree page for buffer-pool simulation.
+type NodeID int64
+
+// VisitFunc observes a page inspection during a search or scan.
+type VisitFunc func(NodeID)
+
+// YaoFill is the average node occupancy of a B-tree under random
+// insertions [YAO78], used as the default bulk-load fill factor.
+const YaoFill = 0.69
+
+// Config fixes the tree geometry.
+type Config struct {
+	PageSize     int // the paper's P (bytes)
+	KeyWidth     int // the paper's K (bytes)
+	PointerWidth int // the paper's B (bytes); 0 means 4
+	TupleWidth   int // the paper's L (bytes)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = page.DefaultSize
+	}
+	if c.PointerWidth == 0 {
+		c.PointerWidth = 4
+	}
+	return c
+}
+
+// Fanout returns the maximum number of children of an interior node.
+func (c Config) Fanout() int {
+	return c.PageSize / (c.KeyWidth + c.PointerWidth)
+}
+
+// LeafCapacity returns the maximum number of tuples per leaf.
+func (c Config) LeafCapacity() int {
+	return c.PageSize / c.TupleWidth
+}
+
+func (c Config) validate() error {
+	if c.KeyWidth <= 0 || c.TupleWidth <= 0 {
+		return fmt.Errorf("btree: KeyWidth and TupleWidth must be positive: %+v", c)
+	}
+	if c.Fanout() < 3 {
+		return fmt.Errorf("btree: fanout %d too small (page %d, key %d, pointer %d)",
+			c.Fanout(), c.PageSize, c.KeyWidth, c.PointerWidth)
+	}
+	if c.LeafCapacity() < 1 {
+		return fmt.Errorf("btree: tuple width %d exceeds page size %d", c.TupleWidth, c.PageSize)
+	}
+	return nil
+}
+
+type treeNode interface {
+	nodeID() NodeID
+}
+
+type leaf struct {
+	id   NodeID
+	keys [][]byte
+	tups []tuple.Tuple
+	next *leaf
+}
+
+func (l *leaf) nodeID() NodeID { return l.id }
+
+type interior struct {
+	id       NodeID
+	keys     [][]byte // keys[i] = smallest key reachable under children[i+1]
+	children []treeNode
+}
+
+func (n *interior) nodeID() NodeID { return n.id }
+
+// Tree is a B+-tree over fixed-width tuples keyed by an order-preserving
+// byte string. Duplicate keys are allowed. Not safe for concurrent use.
+type Tree struct {
+	cfg       Config
+	root      treeNode
+	height    int // levels including the leaf level; 0 when empty
+	tuples    int
+	leaves    int
+	interiors int
+	nextPage  NodeID
+	comps     int64
+}
+
+// New creates an empty tree.
+func New(cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{cfg: cfg}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the tree geometry.
+func (t *Tree) Config() Config { return t.cfg }
+
+// NumTuples returns the number of stored tuples.
+func (t *Tree) NumTuples() int { return t.tuples }
+
+// NumLeaves returns the number of leaf pages.
+func (t *Tree) NumLeaves() int { return t.leaves }
+
+// NumPages returns the total number of pages (leaves + interior), the
+// paper's S'.
+func (t *Tree) NumPages() int { return t.leaves + t.interiors }
+
+// Height returns the number of levels, counting the leaf level.
+func (t *Tree) Height() int { return t.height }
+
+// Comparisons returns the number of key comparisons since construction or
+// the last ResetComparisons.
+func (t *Tree) Comparisons() int64 { return t.comps }
+
+// ResetComparisons zeroes the comparison counter.
+func (t *Tree) ResetComparisons() { t.comps = 0 }
+
+func (t *Tree) newLeaf() *leaf {
+	t.leaves++
+	id := t.nextPage
+	t.nextPage++
+	return &leaf{id: id}
+}
+
+func (t *Tree) newInterior() *interior {
+	t.interiors++
+	id := t.nextPage
+	t.nextPage++
+	return &interior{id: id}
+}
+
+func (t *Tree) compare(a, b []byte) int {
+	t.comps++
+	return bytes.Compare(a, b)
+}
+
+// Insert adds tup under key.
+func (t *Tree) Insert(key []byte, tup tuple.Tuple) {
+	if len(key) != t.cfg.KeyWidth {
+		panic(fmt.Sprintf("btree: key width %d, configured %d", len(key), t.cfg.KeyWidth))
+	}
+	if len(tup) != t.cfg.TupleWidth {
+		panic(fmt.Sprintf("btree: tuple width %d, configured %d", len(tup), t.cfg.TupleWidth))
+	}
+	if t.root == nil {
+		l := t.newLeaf()
+		l.keys = [][]byte{append([]byte(nil), key...)}
+		l.tups = []tuple.Tuple{tup}
+		t.root = l
+		t.height = 1
+		t.tuples = 1
+		return
+	}
+	split, sepKey := t.insert(t.root, key, tup)
+	t.tuples++
+	if split != nil {
+		r := t.newInterior()
+		r.keys = [][]byte{sepKey}
+		r.children = []treeNode{t.root, split}
+		t.root = r
+		t.height++
+	}
+}
+
+// insert descends to the leaf, inserting; on split it returns the new right
+// sibling and the separator key (smallest key of the right sibling).
+func (t *Tree) insert(n treeNode, key []byte, tup tuple.Tuple) (treeNode, []byte) {
+	switch n := n.(type) {
+	case *leaf:
+		i := t.searchKeys(n.keys, key, false)
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = append([]byte(nil), key...)
+		n.tups = append(n.tups, nil)
+		copy(n.tups[i+1:], n.tups[i:])
+		n.tups[i] = tup
+		if len(n.keys) <= t.cfg.LeafCapacity() {
+			return nil, nil
+		}
+		mid := len(n.keys) / 2
+		right := t.newLeaf()
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.tups = append(right.tups, n.tups[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.tups = n.tups[:mid:mid]
+		right.next = n.next
+		n.next = right
+		return right, right.keys[0]
+	case *interior:
+		ci := t.childIndex(n, key)
+		split, sepKey := t.insert(n.children[ci], key, tup)
+		if split == nil {
+			return nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = sepKey
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = split
+		if len(n.children) <= t.cfg.Fanout() {
+			return nil, nil
+		}
+		mid := len(n.children) / 2
+		right := t.newInterior()
+		up := n.keys[mid-1]
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.children = append(right.children, n.children[mid:]...)
+		n.keys = n.keys[: mid-1 : mid-1]
+		n.children = n.children[:mid:mid]
+		return right, up
+	default:
+		panic("btree: unknown node type")
+	}
+}
+
+// searchKeys binary-searches keys for key. With lower=true it returns the
+// first index i with keys[i] >= key; otherwise the first i with
+// keys[i] > key. Comparisons are counted.
+func (t *Tree) searchKeys(keys [][]byte, key []byte, lower bool) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := t.compare(keys[mid], key)
+		if c < 0 || (!lower && c == 0) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of n covers key. Keys equal to a separator
+// descend left; searches compensate by scanning forward along the leaf
+// chain, so duplicates that straddle a split are still found.
+func (t *Tree) childIndex(n *interior, key []byte) int {
+	return t.searchKeys(n.keys, key, true)
+}
+
+// Search returns all tuples stored under key. Each inspected page is
+// reported to visit (which may be nil).
+func (t *Tree) Search(key []byte, visit VisitFunc) []tuple.Tuple {
+	if t.root == nil {
+		return nil
+	}
+	n := t.root
+	for {
+		if visit != nil {
+			visit(n.nodeID())
+		}
+		in, ok := n.(*interior)
+		if !ok {
+			break
+		}
+		n = in.children[t.childIndex(in, key)]
+	}
+	l := n.(*leaf)
+	var out []tuple.Tuple
+	i := t.searchKeys(l.keys, key, true)
+	for {
+		for ; i < len(l.keys); i++ {
+			if t.compare(l.keys[i], key) != 0 {
+				return out
+			}
+			out = append(out, l.tups[i])
+		}
+		if l.next == nil {
+			return out
+		}
+		l = l.next
+		if visit != nil {
+			visit(l.id)
+		}
+		i = 0
+	}
+}
+
+// AscendRange walks tuples with key >= start in key order, calling fn until
+// it returns false. A nil start walks from the smallest key. Each touched
+// page (descent path plus every leaf visited) is reported to visit.
+func (t *Tree) AscendRange(start []byte, visit VisitFunc, fn func(key []byte, tup tuple.Tuple) bool) {
+	if t.root == nil {
+		return
+	}
+	n := t.root
+	for {
+		if visit != nil {
+			visit(n.nodeID())
+		}
+		in, ok := n.(*interior)
+		if !ok {
+			break
+		}
+		if start == nil {
+			n = in.children[0]
+		} else {
+			n = in.children[t.childIndex(in, start)]
+		}
+	}
+	l := n.(*leaf)
+	i := 0
+	if start != nil {
+		i = t.searchKeys(l.keys, start, true)
+	}
+	for {
+		for ; i < len(l.keys); i++ {
+			if !fn(l.keys[i], l.tups[i]) {
+				return
+			}
+		}
+		if l.next == nil {
+			return
+		}
+		l = l.next
+		if visit != nil {
+			visit(l.id)
+		}
+		i = 0
+	}
+}
+
+// Delete removes all tuples stored under key and reports how many were
+// removed. Leaves are allowed to underflow (lazy deletion); structure and
+// search correctness are preserved.
+func (t *Tree) Delete(key []byte) int {
+	if t.root == nil {
+		return 0
+	}
+	n := t.root
+	for {
+		in, ok := n.(*interior)
+		if !ok {
+			break
+		}
+		n = in.children[t.childIndex(in, key)]
+	}
+	removed := 0
+	for l := n.(*leaf); l != nil; l = l.next {
+		i := t.searchKeys(l.keys, key, true)
+		j := i
+		for j < len(l.keys) && t.compare(l.keys[j], key) == 0 {
+			j++
+		}
+		if j > i {
+			removed += j - i
+			l.keys = append(l.keys[:i], l.keys[j:]...)
+			l.tups = append(l.tups[:i], l.tups[j:]...)
+		}
+		if i < len(l.keys) {
+			break // a key greater than the target remains; duplicates cannot continue
+		}
+	}
+	t.tuples -= removed
+	return removed
+}
+
+// BulkLoad builds a tree from tuples already sorted by key, packing leaves
+// and interior nodes to the given fill factor (0 means YaoFill). It
+// replaces the tree contents.
+func (t *Tree) BulkLoad(keys [][]byte, tups []tuple.Tuple, fill float64) error {
+	if len(keys) != len(tups) {
+		return fmt.Errorf("btree: %d keys but %d tuples", len(keys), len(tups))
+	}
+	if fill == 0 {
+		fill = YaoFill
+	}
+	if fill <= 0 || fill > 1 {
+		return fmt.Errorf("btree: fill factor %g out of (0,1]", fill)
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) > 0 {
+			return fmt.Errorf("btree: bulk load input not sorted at %d", i)
+		}
+	}
+	t.root, t.height, t.tuples, t.leaves, t.interiors, t.nextPage = nil, 0, 0, 0, 0, 0
+	if len(keys) == 0 {
+		return nil
+	}
+	perLeaf := int(float64(t.cfg.LeafCapacity())*fill + 0.5)
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	var level []treeNode
+	var seps [][]byte // smallest key under each node in level
+	var prev *leaf
+	for i := 0; i < len(keys); i += perLeaf {
+		j := i + perLeaf
+		if j > len(keys) {
+			j = len(keys)
+		}
+		l := t.newLeaf()
+		for k := i; k < j; k++ {
+			l.keys = append(l.keys, append([]byte(nil), keys[k]...))
+			l.tups = append(l.tups, tups[k])
+		}
+		if prev != nil {
+			prev.next = l
+		}
+		prev = l
+		level = append(level, l)
+		seps = append(seps, l.keys[0])
+	}
+	t.tuples = len(keys)
+	t.height = 1
+	perNode := int(float64(t.cfg.Fanout())*fill + 0.5)
+	if perNode < 2 {
+		perNode = 2
+	}
+	for len(level) > 1 {
+		var up []treeNode
+		var upSeps [][]byte
+		for i := 0; i < len(level); i += perNode {
+			j := i + perNode
+			if j > len(level) {
+				j = len(level)
+			}
+			if j-i == 1 && len(up) > 0 {
+				// Avoid a one-child node: fold into the previous sibling.
+				last := up[len(up)-1].(*interior)
+				last.keys = append(last.keys, seps[i])
+				last.children = append(last.children, level[i])
+				continue
+			}
+			n := t.newInterior()
+			n.children = append(n.children, level[i:j]...)
+			n.keys = append(n.keys, seps[i+1:j]...)
+			up = append(up, n)
+			upSeps = append(upSeps, seps[i])
+		}
+		level, seps = up, upSeps
+		t.height++
+	}
+	t.root = level[0]
+	return nil
+}
+
+// CheckInvariants verifies ordering, uniform leaf depth, separator bounds
+// and the leaf chain. Intended for tests.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		if t.tuples != 0 || t.height != 0 {
+			return fmt.Errorf("btree: empty root but tuples=%d height=%d", t.tuples, t.height)
+		}
+		return nil
+	}
+	depth := -1
+	count := 0
+	var lastLeaf *leaf
+	var lastKey []byte
+	var walk func(n treeNode, d int, lo, hi []byte) error
+	walk = func(n treeNode, d int, lo, hi []byte) error {
+		switch n := n.(type) {
+		case *leaf:
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("btree: leaf at depth %d, expected %d", d, depth)
+			}
+			if len(n.keys) != len(n.tups) {
+				return fmt.Errorf("btree: leaf with %d keys, %d tuples", len(n.keys), len(n.tups))
+			}
+			if len(n.keys) > t.cfg.LeafCapacity() {
+				return fmt.Errorf("btree: overfull leaf (%d > %d)", len(n.keys), t.cfg.LeafCapacity())
+			}
+			for _, k := range n.keys {
+				if lastKey != nil && bytes.Compare(lastKey, k) > 0 {
+					return fmt.Errorf("btree: keys out of order: %x then %x", lastKey, k)
+				}
+				if lo != nil && bytes.Compare(k, lo) < 0 {
+					return fmt.Errorf("btree: key %x below separator %x", k, lo)
+				}
+				if hi != nil && bytes.Compare(k, hi) > 0 {
+					return fmt.Errorf("btree: key %x above separator %x", k, hi)
+				}
+				lastKey = k
+				count++
+			}
+			if lastLeaf != nil && lastLeaf.next != n {
+				return fmt.Errorf("btree: broken leaf chain")
+			}
+			lastLeaf = n
+			return nil
+		case *interior:
+			if len(n.children) != len(n.keys)+1 {
+				return fmt.Errorf("btree: interior with %d children, %d keys", len(n.children), len(n.keys))
+			}
+			if len(n.children) > t.cfg.Fanout() {
+				return fmt.Errorf("btree: overfull interior (%d > %d)", len(n.children), t.cfg.Fanout())
+			}
+			for i, c := range n.children {
+				clo, chi := lo, hi
+				if i > 0 {
+					clo = n.keys[i-1]
+				}
+				if i < len(n.keys) {
+					chi = n.keys[i]
+				}
+				if err := walk(c, d+1, clo, chi); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("btree: unknown node type %T", n)
+		}
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if depth != t.height {
+		return fmt.Errorf("btree: stored height %d, actual %d", t.height, depth)
+	}
+	if count != t.tuples {
+		return fmt.Errorf("btree: stored tuples %d, reachable %d", t.tuples, count)
+	}
+	if lastLeaf != nil && lastLeaf.next != nil {
+		return fmt.Errorf("btree: leaf chain extends past last leaf")
+	}
+	return nil
+}

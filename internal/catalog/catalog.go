@@ -1,0 +1,261 @@
+// Package catalog maintains the relation registry: named heap files with
+// schemas, per-column statistics for the planner, and secondary indexes
+// (B+-tree or AVL, the two §2 access methods behind one interface).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"mmdb/internal/avl"
+	"mmdb/internal/btree"
+	"mmdb/internal/heap"
+	"mmdb/internal/simio"
+	"mmdb/internal/tuple"
+)
+
+// IndexKind selects the access method of an index.
+type IndexKind int
+
+// Index kinds.
+const (
+	BTree IndexKind = iota // the disk-oriented default (§2's conclusion)
+	AVL                    // the main-memory alternative
+)
+
+func (k IndexKind) String() string {
+	if k == AVL {
+		return "avl"
+	}
+	return "btree"
+}
+
+// Index is the common face of the two access methods.
+type Index interface {
+	// Kind returns the access method.
+	Kind() IndexKind
+	// Insert adds a tuple under its key.
+	Insert(key []byte, tup tuple.Tuple)
+	// Search returns the tuples stored under key.
+	Search(key []byte) []tuple.Tuple
+	// Ascend walks tuples with key >= start in order until fn returns
+	// false; nil start walks everything.
+	Ascend(start []byte, fn func(key []byte, tup tuple.Tuple) bool)
+	// Len returns the number of indexed tuples.
+	Len() int
+}
+
+type btreeIndex struct{ t *btree.Tree }
+
+func (b btreeIndex) Kind() IndexKind { return BTree }
+func (b btreeIndex) Insert(key []byte, tup tuple.Tuple) {
+	b.t.Insert(key, tup)
+}
+func (b btreeIndex) Search(key []byte) []tuple.Tuple {
+	return b.t.Search(key, nil)
+}
+func (b btreeIndex) Ascend(start []byte, fn func([]byte, tuple.Tuple) bool) {
+	b.t.AscendRange(start, nil, fn)
+}
+func (b btreeIndex) Len() int { return b.t.NumTuples() }
+
+type avlIndex struct{ t *avl.Tree }
+
+func (a avlIndex) Kind() IndexKind { return AVL }
+func (a avlIndex) Insert(key []byte, tup tuple.Tuple) {
+	a.t.Insert(key, tup)
+}
+func (a avlIndex) Search(key []byte) []tuple.Tuple {
+	return a.t.Search(key, nil)
+}
+func (a avlIndex) Ascend(start []byte, fn func([]byte, tuple.Tuple) bool) {
+	a.t.Ascend(start, nil, func(key []byte, vals []tuple.Tuple) bool {
+		for _, v := range vals {
+			if !fn(key, v) {
+				return false
+			}
+		}
+		return true
+	})
+}
+func (a avlIndex) Len() int { return a.t.NumTuples() }
+
+// Relation is one cataloged table.
+type Relation struct {
+	Name       string
+	File       *heap.File
+	indexes    map[int]Index      // by column
+	histograms map[int]*Histogram // by column (see histogram.go)
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *tuple.Schema { return r.File.Schema() }
+
+// Index returns the index on col, if any.
+func (r *Relation) Index(col int) (Index, bool) {
+	ix, ok := r.indexes[col]
+	return ix, ok
+}
+
+// IndexedColumns returns the indexed columns in ascending order.
+func (r *Relation) IndexedColumns() []int {
+	var out []int
+	for c := range r.indexes {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stats summarizes a relation for the planner.
+type Stats struct {
+	Pages         int
+	Tuples        int64
+	TuplesPerPage int
+	Distinct      map[int]int64 // distinct values per column (computed on demand)
+}
+
+// Catalog is the registry. Not safe for concurrent use.
+type Catalog struct {
+	disk *simio.Disk
+	rels map[string]*Relation
+}
+
+// New creates an empty catalog on disk.
+func New(disk *simio.Disk) *Catalog {
+	return &Catalog{disk: disk, rels: make(map[string]*Relation)}
+}
+
+// Disk returns the underlying disk.
+func (c *Catalog) Disk() *simio.Disk { return c.disk }
+
+// Create registers a new empty relation.
+func (c *Catalog) Create(name string, schema *tuple.Schema) (*Relation, error) {
+	if _, ok := c.rels[name]; ok {
+		return nil, fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	f, err := heap.Create(c.disk, name, schema)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relation{Name: name, File: f, indexes: make(map[int]Index)}
+	c.rels[name] = r
+	return r, nil
+}
+
+// Adopt registers an existing heap file (e.g. one produced by the workload
+// generator).
+func (c *Catalog) Adopt(f *heap.File) (*Relation, error) {
+	if _, ok := c.rels[f.Name()]; ok {
+		return nil, fmt.Errorf("catalog: relation %q already exists", f.Name())
+	}
+	r := &Relation{Name: f.Name(), File: f, indexes: make(map[int]Index)}
+	c.rels[f.Name()] = r
+	return r, nil
+}
+
+// Get looks a relation up.
+func (c *Catalog) Get(name string) (*Relation, error) {
+	r, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
+	}
+	return r, nil
+}
+
+// Names returns the registered relation names in sorted order.
+func (c *Catalog) Names() []string {
+	var out []string
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a relation and its storage.
+func (c *Catalog) Drop(name string) error {
+	r, ok := c.rels[name]
+	if !ok {
+		return fmt.Errorf("catalog: relation %q does not exist", name)
+	}
+	r.File.Drop()
+	delete(c.rels, name)
+	return nil
+}
+
+// BuildIndex constructs an index on col. The relation is scanned uncharged
+// (index construction cost is not part of any §2/§3 experiment; the
+// experiments charge traversals explicitly).
+func (c *Catalog) BuildIndex(name string, col int, kind IndexKind) (Index, error) {
+	r, err := c.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	schema := r.Schema()
+	if col < 0 || col >= schema.NumFields() {
+		return nil, fmt.Errorf("catalog: column %d out of range for %q", col, name)
+	}
+	var ix Index
+	switch kind {
+	case BTree:
+		t, err := btree.New(btree.Config{
+			PageSize:   c.disk.PageSize(),
+			KeyWidth:   schema.FieldWidth(col),
+			TupleWidth: schema.Width(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix = btreeIndex{t: t}
+	case AVL:
+		ix = avlIndex{t: &avl.Tree{}}
+	default:
+		return nil, fmt.Errorf("catalog: unknown index kind %d", int(kind))
+	}
+	err = r.File.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+		ix.Insert(schema.KeyBytes(t, col), t.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.indexes[col] = ix
+	return ix, nil
+}
+
+// Stats computes planner statistics. Distinct counts are exact (hash-set
+// based) and computed for the listed columns only.
+func (c *Catalog) Stats(name string, distinctCols ...int) (Stats, error) {
+	r, err := c.Get(name)
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{
+		Pages:         r.File.NumPages(),
+		Tuples:        r.File.NumTuples(),
+		TuplesPerPage: r.File.TuplesPerPage(),
+		Distinct:      make(map[int]int64),
+	}
+	if len(distinctCols) == 0 {
+		return s, nil
+	}
+	schema := r.Schema()
+	sets := make([]map[string]struct{}, len(distinctCols))
+	for i := range sets {
+		sets[i] = make(map[string]struct{})
+	}
+	err = r.File.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+		for i, col := range distinctCols {
+			sets[i][string(schema.KeyBytes(t, col))] = struct{}{}
+		}
+		return true
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	for i, col := range distinctCols {
+		s.Distinct[col] = int64(len(sets[i]))
+	}
+	return s, nil
+}

@@ -1,0 +1,158 @@
+package catalog
+
+import (
+	"fmt"
+
+	"mmdb/internal/expr"
+	"mmdb/internal/simio"
+	"mmdb/internal/tuple"
+)
+
+// Histogram is an equi-width histogram over an int64 column, used by the
+// planner to estimate predicate selectivities (the statistics side of the
+// §4 [SELI79] machinery).
+type Histogram struct {
+	Min, Max int64
+	Counts   []int64
+	Total    int64
+	Distinct int64
+}
+
+func (h *Histogram) width() float64 {
+	if h.Max == h.Min {
+		return 1
+	}
+	return float64(h.Max-h.Min+1) / float64(len(h.Counts))
+}
+
+func (h *Histogram) bucketOf(v int64) int {
+	if v < h.Min {
+		return -1
+	}
+	if v > h.Max {
+		return len(h.Counts)
+	}
+	b := int(float64(v-h.Min) / h.width())
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// LeqFraction estimates the fraction of values <= v, interpolating within
+// the bucket holding v.
+func (h *Histogram) LeqFraction(v int64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	switch b := h.bucketOf(v); {
+	case b < 0:
+		return 0
+	case b >= len(h.Counts):
+		return 1
+	default:
+		var below int64
+		for i := 0; i < b; i++ {
+			below += h.Counts[i]
+		}
+		lo := h.Min + int64(float64(b)*h.width())
+		frac := float64(v-lo+1) / h.width()
+		if frac > 1 {
+			frac = 1
+		}
+		return (float64(below) + frac*float64(h.Counts[b])) / float64(h.Total)
+	}
+}
+
+// EqFraction estimates the fraction of values equal to v.
+func (h *Histogram) EqFraction(v int64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	b := h.bucketOf(v)
+	if b < 0 || b >= len(h.Counts) {
+		return 0
+	}
+	// Values spread uniformly over the bucket's distinct values.
+	perBucketDistinct := float64(h.Distinct) / float64(len(h.Counts))
+	if perBucketDistinct < 1 {
+		perBucketDistinct = 1
+	}
+	return float64(h.Counts[b]) / perBucketDistinct / float64(h.Total)
+}
+
+// Selectivity estimates one comparison against this histogram's column.
+func (h *Histogram) Selectivity(op expr.Op, v int64) float64 {
+	switch op {
+	case expr.Eq:
+		return h.EqFraction(v)
+	case expr.Ne:
+		return 1 - h.EqFraction(v)
+	case expr.Le:
+		return h.LeqFraction(v)
+	case expr.Lt:
+		return h.LeqFraction(v - 1)
+	case expr.Ge:
+		return 1 - h.LeqFraction(v-1)
+	case expr.Gt:
+		return 1 - h.LeqFraction(v)
+	default:
+		return 0.5
+	}
+}
+
+// BuildHistogram scans the relation (uncharged: statistics collection, not
+// an experiment) and builds a histogram with the given bucket count over
+// an int64 column.
+func (c *Catalog) BuildHistogram(name string, col, buckets int) (*Histogram, error) {
+	r, err := c.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	schema := r.Schema()
+	if col < 0 || col >= schema.NumFields() || schema.Field(col).Kind != tuple.Int64 {
+		return nil, fmt.Errorf("catalog: histogram needs an int64 column")
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("catalog: need at least one bucket")
+	}
+	var vals []int64
+	distinct := make(map[int64]struct{})
+	err = r.File.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+		v := schema.Int(t, col)
+		vals = append(vals, v)
+		distinct[v] = struct{}{}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &Histogram{Counts: make([]int64, buckets), Distinct: int64(len(distinct))}
+	if len(vals) == 0 {
+		return h, nil
+	}
+	h.Min, h.Max = vals[0], vals[0]
+	for _, v := range vals {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	for _, v := range vals {
+		h.Counts[h.bucketOf(v)]++
+		h.Total++
+	}
+	if r.histograms == nil {
+		r.histograms = make(map[int]*Histogram)
+	}
+	r.histograms[col] = h
+	return h, nil
+}
+
+// Histogram returns the column's histogram, if one was built.
+func (r *Relation) Histogram(col int) (*Histogram, bool) {
+	h, ok := r.histograms[col]
+	return h, ok
+}

@@ -1,0 +1,104 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"mmdb/internal/expr"
+	"mmdb/internal/workload"
+)
+
+func histSetup(t *testing.T, tuples int, domain int64) (*Catalog, *Histogram) {
+	t.Helper()
+	disk, c := env()
+	f := workload.MustGenerate(disk, workload.RelationSpec{
+		Name: "h", Tuples: tuples, KeyDomain: domain, PayloadWidth: 12, Seed: 21,
+	})
+	if _, err := c.Adopt(f); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.BuildHistogram("h", 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, h
+}
+
+func TestHistogramBounds(t *testing.T) {
+	_, h := histSetup(t, 5000, 1000)
+	if h.Total != 5000 {
+		t.Fatalf("total %d", h.Total)
+	}
+	if h.Min < 0 || h.Max >= 1000 || h.Min >= h.Max {
+		t.Fatalf("range [%d,%d]", h.Min, h.Max)
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total {
+		t.Fatalf("bucket counts sum to %d", sum)
+	}
+}
+
+func TestUniformEstimates(t *testing.T) {
+	_, h := histSetup(t, 20000, 1000)
+	// Uniform keys: P(k <= 500) ≈ 0.5, P(k = v) ≈ 1/1000.
+	if got := h.LeqFraction(499); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("LeqFraction(499) = %.3f", got)
+	}
+	if got := h.EqFraction(500); math.Abs(got-0.001) > 0.001 {
+		t.Errorf("EqFraction = %.5f", got)
+	}
+	if got := h.Selectivity(expr.Ge, 900); math.Abs(got-0.1) > 0.05 {
+		t.Errorf("Ge 900 = %.3f", got)
+	}
+	if got := h.Selectivity(expr.Lt, h.Min); got != 0 {
+		t.Errorf("Lt min = %.3f", got)
+	}
+	if got := h.Selectivity(expr.Le, h.Max+100); got != 1 {
+		t.Errorf("Le beyond max = %.3f", got)
+	}
+	if got := h.EqFraction(h.Max + 100); got != 0 {
+		t.Errorf("Eq out of range = %.3f", got)
+	}
+}
+
+func TestHistogramAccessors(t *testing.T) {
+	c, _ := histSetup(t, 100, 10)
+	r, _ := c.Get("h")
+	if _, ok := r.Histogram(0); !ok {
+		t.Fatal("histogram not registered")
+	}
+	if _, ok := r.Histogram(1); ok {
+		t.Fatal("phantom histogram")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	c, _ := histSetup(t, 10, 5)
+	if _, err := c.BuildHistogram("h", 1, 8); err == nil {
+		t.Error("string column accepted")
+	}
+	if _, err := c.BuildHistogram("h", 0, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := c.BuildHistogram("none", 0, 8); err == nil {
+		t.Error("missing relation accepted")
+	}
+}
+
+func TestEmptyRelationHistogram(t *testing.T) {
+	disk, c := env()
+	f := workload.MustGenerate(disk, workload.RelationSpec{Name: "e", Tuples: 0, PayloadWidth: 12})
+	if _, err := c.Adopt(f); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.BuildHistogram("e", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LeqFraction(5) != 0 || h.EqFraction(5) != 0 {
+		t.Fatal("empty histogram estimates nonzero")
+	}
+}

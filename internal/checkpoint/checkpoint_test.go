@@ -1,0 +1,155 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mmdb/internal/event"
+	"mmdb/internal/store"
+	"mmdb/internal/wal"
+)
+
+func setup(t *testing.T) (*event.Sim, *store.Store, *wal.Log, *wal.Device, *Snapshot, *Checkpointer) {
+	t.Helper()
+	sim := &event.Sim{}
+	st, err := store.New(64, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logDev := wal.NewDevice("log", time.Millisecond)
+	l, err := wal.NewLog(sim, wal.Config{Policy: wal.GroupCommit, Devices: []*wal.Device{logDev}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := NewSnapshot()
+	dataDev := wal.NewDevice("data", 5*time.Millisecond)
+	c := New(sim, st, l, dataDev, snap)
+	return sim, st, l, dataDev, snap, c
+}
+
+func TestInitialSnapshotCoversAllPages(t *testing.T) {
+	_, st, _, _, snap, c := setup(t)
+	c.InitialSnapshot()
+	if snap.Len() != st.NumPages() {
+		t.Fatalf("snapshot has %d of %d pages", snap.Len(), st.NumPages())
+	}
+	if len(st.DirtyPages()) != 0 {
+		t.Fatal("initial snapshot left dirty pages")
+	}
+}
+
+func TestSweepWritesDirtyPagesOldestFirst(t *testing.T) {
+	sim, st, l, _, snap, c := setup(t)
+	c.InitialSnapshot()
+
+	// Make the log durable past the updates so the WAL rule admits them.
+	write := func(rec uint64, lsnHint byte) wal.LSN {
+		lsn, _ := l.Append(wal.Record{Txn: 1, Type: wal.Update, Rec: rec,
+			Old: make([]byte, 8), New: []byte{lsnHint, 0, 0, 0, 0, 0, 0, 0}})
+		st.Write(rec, []byte{lsnHint, 0, 0, 0, 0, 0, 0, 0}, lsn)
+		return lsn
+	}
+	write(50, 5) // page 6 dirtied first (oldest entry)
+	write(2, 9)  // page 0
+	l.AppendCommit(1, nil)
+	c.Start()
+	sim.Run()
+
+	if got := c.PagesWritten; got != 2 {
+		t.Fatalf("checkpointed %d pages", got)
+	}
+	if len(st.DirtyPages()) != 0 {
+		t.Fatal("dirty pages remain after sweep")
+	}
+	// Snapshot now reflects the updates.
+	img := snap.Pages()[6]
+	if !bytes.Equal(img[2*8:2*8+8], []byte{5, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Fatalf("snapshot page 6 = %x", img)
+	}
+	if _, ok := c.RecoveryStartLSN(); ok {
+		t.Fatal("recovery start present with a clean store")
+	}
+}
+
+func TestWALRuleDelaysPageWrite(t *testing.T) {
+	sim, st, l, dataDev, _, c := setup(t)
+	c.InitialSnapshot()
+	// Update whose log record is buffered but not yet durable.
+	lsn, _ := l.Append(wal.Record{Txn: 1, Type: wal.Update, Rec: 1, Old: make([]byte, 8), New: make([]byte, 8)})
+	st.Write(1, make([]byte, 8), lsn)
+	c.Start()
+	sim.RunUntil(500 * time.Microsecond) // log write (1ms) not yet durable
+	if dataDev.PagesWritten() != 0 {
+		t.Fatal("page written before its log record was durable")
+	}
+	l.Flush()
+	sim.Run()
+	if dataDev.PagesWritten() != 1 {
+		t.Fatalf("page not written after log became durable (%d)", dataDev.PagesWritten())
+	}
+}
+
+func TestPendingEntrySurvivesCrashMidWrite(t *testing.T) {
+	sim, st, l, _, _, c := setup(t)
+	c.InitialSnapshot()
+	lsn, _ := l.Append(wal.Record{Txn: 1, Type: wal.Update, Rec: 1, Old: make([]byte, 8), New: make([]byte, 8)})
+	st.Write(1, make([]byte, 8), lsn)
+	l.AppendCommit(1, nil)
+	c.Start()
+	// Run until the log is durable and the page write has been issued but
+	// not completed (data device takes 5ms; log 1ms).
+	sim.RunUntil(3 * time.Millisecond)
+	if len(st.DirtyPages()) != 0 {
+		t.Fatal("expected the dirty entry cleared at issue")
+	}
+	table := c.StableFirstUpdateTable()
+	if got, ok := table[0]; !ok || got != lsn {
+		t.Fatalf("pending entry lost: %v", table)
+	}
+	start, ok := c.RecoveryStartLSN()
+	if !ok || start != lsn {
+		t.Fatalf("recovery start %d/%v", start, ok)
+	}
+	sim.Run()
+	if _, ok := c.RecoveryStartLSN(); ok {
+		t.Fatal("entry remains after write completion")
+	}
+}
+
+func TestUpdatesDuringWriteStayDirty(t *testing.T) {
+	sim, st, l, _, _, c := setup(t)
+	c.InitialSnapshot()
+	lsn, _ := l.Append(wal.Record{Txn: 1, Type: wal.Update, Rec: 1, Old: make([]byte, 8), New: []byte{1, 0, 0, 0, 0, 0, 0, 0}})
+	st.Write(1, []byte{1, 0, 0, 0, 0, 0, 0, 0}, lsn)
+	l.AppendCommit(1, nil)
+	c.Start()
+	// While the checkpoint write is in flight, update the same page again.
+	sim.At(2*time.Millisecond, func() {
+		lsn2, _ := l.Append(wal.Record{Txn: 2, Type: wal.Update, Rec: 2, Old: make([]byte, 8), New: []byte{2, 0, 0, 0, 0, 0, 0, 0}})
+		st.Write(2, []byte{2, 0, 0, 0, 0, 0, 0, 0}, lsn2)
+		l.AppendCommit(2, nil)
+	})
+	sim.Run()
+	// The sweep keeps running (Kick on completion), so eventually both
+	// versions are checkpointed and nothing is dirty.
+	if len(st.DirtyPages()) != 0 {
+		t.Fatalf("dirty pages remain: %v", st.DirtyPages())
+	}
+	if c.PagesWritten < 2 {
+		t.Fatalf("page 0 should have been written twice, got %d writes", c.PagesWritten)
+	}
+}
+
+func TestStopHaltsSweep(t *testing.T) {
+	sim, st, l, dataDev, _, c := setup(t)
+	c.InitialSnapshot()
+	lsn, _ := l.Append(wal.Record{Txn: 1, Type: wal.Update, Rec: 1, Old: make([]byte, 8), New: make([]byte, 8)})
+	st.Write(1, make([]byte, 8), lsn)
+	c.Stop()
+	c.Kick()
+	sim.Run()
+	if dataDev.PagesWritten() != 0 {
+		t.Fatal("stopped checkpointer wrote pages")
+	}
+}

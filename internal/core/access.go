@@ -1,0 +1,225 @@
+// Package core implements the paper's analytic cost models: the §2
+// AVL-versus-B+-tree access method analysis (Table 1) and the §3 join
+// algorithm cost formulas (Figure 1, Table 3).
+//
+// Where the available text of the paper is ambiguous, the formulas are
+// reconstructed from the surrounding derivation and cross-checked against
+// the paper's own stated consequences (AVL competitive only above 80–90%
+// residency; all hash algorithms equal at |M| = |R|*F; sort-merge improving
+// to ~900 s above ratio 1.0). The executable implementations in
+// internal/join and internal/avl+btree provide an independent check.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// AccessParams characterizes the keyed relation of §2.
+type AccessParams struct {
+	R       int64   // ||R||: number of tuples
+	K       int     // key width in bytes
+	L       int     // tuple width in bytes
+	P       int     // page size in bytes
+	Ptr     int     // pointer width in bytes (the paper's B); 0 means 4
+	Y       float64 // AVL comparison cost / B+-tree comparison cost (Y <= 1)
+	Z       float64 // page-read weight: cost = Z*|page reads| + |comparisons|
+	MemFrac float64 // H = |M|/S: fraction of the AVL structure resident
+}
+
+func (p AccessParams) withDefaults() AccessParams {
+	if p.Ptr == 0 {
+		p.Ptr = 4
+	}
+	return p
+}
+
+// Validate checks parameter sanity.
+func (p AccessParams) Validate() error {
+	p = p.withDefaults()
+	switch {
+	case p.R < 1:
+		return fmt.Errorf("core: need at least one tuple, got %d", p.R)
+	case p.K <= 0 || p.L <= 0 || p.P <= 0:
+		return fmt.Errorf("core: K, L, P must be positive")
+	case p.Y <= 0 || p.Y > 1:
+		return fmt.Errorf("core: Y=%g out of (0,1]", p.Y)
+	case p.Z <= 0:
+		return fmt.Errorf("core: Z=%g must be positive", p.Z)
+	case p.MemFrac < 0 || p.MemFrac > 1:
+		return fmt.Errorf("core: MemFrac=%g out of [0,1]", p.MemFrac)
+	}
+	return nil
+}
+
+// AVLComparisons returns C = log2(||R||) + 0.25, the expected comparisons
+// to find a tuple in an ||R||-tuple AVL tree [KNUT73].
+func (p AccessParams) AVLComparisons() float64 {
+	return math.Log2(float64(p.R)) + 0.25
+}
+
+// AVLPages returns S, the number of pages the AVL structure occupies:
+// each node stores a tuple plus two child pointers, and the structure has
+// no page locality. Note S ≈ 0.69*S' when L >> 2*Ptr, as the paper
+// observes.
+func (p AccessParams) AVLPages() float64 {
+	p = p.withDefaults()
+	nodeBytes := float64(p.L + 2*p.Ptr)
+	return math.Ceil(float64(p.R) * nodeBytes / float64(p.P))
+}
+
+// BTreeFanout returns the B+-tree interior fanout P/(K+B) at 69% average
+// occupancy [YAO78].
+func (p AccessParams) BTreeFanout() float64 {
+	p = p.withDefaults()
+	return 0.69 * float64(p.P) / float64(p.K+p.Ptr)
+}
+
+// BTreeLeaves returns D, the number of leaf pages at 69% occupancy.
+func (p AccessParams) BTreeLeaves() float64 {
+	return math.Ceil(float64(p.R) * float64(p.L) / (0.69 * float64(p.P)))
+}
+
+// BTreeHeight returns the index height: ceil(log_fanout(D)).
+func (p AccessParams) BTreeHeight() float64 {
+	d := p.BTreeLeaves()
+	if d <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log(d) / math.Log(p.BTreeFanout()))
+}
+
+// BTreePages returns S', the total pages of the B+-tree:
+// D + D/f + D/f^2 + ... ≈ D * f/(f-1).
+func (p AccessParams) BTreePages() float64 {
+	d := p.BTreeLeaves()
+	f := p.BTreeFanout()
+	total := 0.0
+	for level := d; ; level = math.Ceil(level / f) {
+		total += level
+		if level <= 1 {
+			break
+		}
+	}
+	return total
+}
+
+// BTreeComparisons returns C' = ceil(log2(||R||)).
+func (p AccessParams) BTreeComparisons() float64 {
+	return math.Ceil(math.Log2(float64(p.R)))
+}
+
+// RandomAccessCosts returns the §2 case-1 costs (single-tuple retrieval by
+// a random key) for both structures, with the same |M| pages of memory.
+// MemFrac is H = |M|/S; the B+-tree residency is H' = |M|/S' = H*S/S',
+// capped at 1.
+func (p AccessParams) RandomAccessCosts() (avl, btree float64) {
+	p = p.withDefaults()
+	h := p.MemFrac
+	s, sp := p.AVLPages(), p.BTreePages()
+	hp := h * s / sp
+	if hp > 1 {
+		hp = 1
+	}
+	c := p.AVLComparisons()
+	avl = p.Z*c*(1-h) + p.Y*c
+
+	height := p.BTreeHeight()
+	btree = p.Z*(height+1)*(1-hp) + p.BTreeComparisons()
+	return avl, btree
+}
+
+// SequentialAccessCosts returns the §2 case-2 costs: after locating a start
+// key, read n records in key order. The AVL tree touches one (randomly
+// placed) node per record; the B+-tree touches one leaf per
+// 0.69*P/L records. CPU is one comparison-equivalent per record for both
+// structures, discounted by Y for the AVL tree.
+func (p AccessParams) SequentialAccessCosts(n int64) (avl, btree float64) {
+	p = p.withDefaults()
+	h := p.MemFrac
+	s, sp := p.AVLPages(), p.BTreePages()
+	hp := h * s / sp
+	if hp > 1 {
+		hp = 1
+	}
+	nf := float64(n)
+	avl = p.Z*nf*(1-h) + p.Y*nf
+
+	tuplesPerLeaf := 0.69 * float64(p.P) / float64(p.L)
+	leaves := math.Ceil(nf / tuplesPerLeaf)
+	btree = p.Z*leaves*(1-hp) + nf
+	return avl, btree
+}
+
+// CrossoverH returns the smallest residency fraction H = |M|/S at which
+// the AVL tree beats the B+-tree for random access, found by bisection.
+// It returns 1 if the AVL tree never wins below full residency, and the
+// paper guarantees it always wins at H = 1 (no disk accesses, cheaper
+// comparisons).
+func (p AccessParams) CrossoverH() float64 {
+	return crossover(func(h float64) bool {
+		q := p
+		q.MemFrac = h
+		a, b := q.RandomAccessCosts()
+		return a < b
+	})
+}
+
+// CrossoverHSequential is CrossoverH for the sequential-access case with n
+// records read.
+func (p AccessParams) CrossoverHSequential(n int64) float64 {
+	return crossover(func(h float64) bool {
+		q := p
+		q.MemFrac = h
+		a, b := q.SequentialAccessCosts(n)
+		return a < b
+	})
+}
+
+// crossover bisects for the smallest h in [0,1] where avlWins(h) holds.
+// Both cost functions are linear in h, so the win region is an interval
+// ending at 1.
+func crossover(avlWins func(float64) bool) float64 {
+	if avlWins(0) {
+		return 0
+	}
+	if !avlWins(1) {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if avlWins(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// Table1Row is one cell grid row of the reproduced Table 1: for a given Z,
+// the crossover H for each Y.
+type Table1Row struct {
+	Z          float64
+	CrossoverH []float64 // parallel to the Y values passed to Table1
+}
+
+// Table1 reproduces the paper's Table 1: the minimum fraction of the AVL
+// structure that must be memory resident for the AVL tree to win, over a
+// grid of comparison discounts Y and page-read weights Z.
+func Table1(base AccessParams, ys, zs []float64, sequentialN int64) (random, sequential []Table1Row) {
+	for _, z := range zs {
+		r := Table1Row{Z: z}
+		s := Table1Row{Z: z}
+		for _, y := range ys {
+			p := base
+			p.Y, p.Z = y, z
+			r.CrossoverH = append(r.CrossoverH, p.CrossoverH())
+			s.CrossoverH = append(s.CrossoverH, p.CrossoverHSequential(sequentialN))
+		}
+		random = append(random, r)
+		sequential = append(sequential, s)
+	}
+	return random, sequential
+}

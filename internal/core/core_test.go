@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmdb/internal/cost"
+)
+
+func table2Points(t *testing.T) []Figure1Point {
+	t.Helper()
+	pts, err := Figure1(cost.DefaultParams(), Table2Workload(), DefaultRatios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestFigure1HybridDominatesAtLowMemory(t *testing.T) {
+	// Paper: "the Hybrid algorithm is preferable to all others over a
+	// large range of parameter values"; at small ratios it must beat
+	// everything.
+	for _, pt := range table2Points(t) {
+		if pt.Ratio > 0.3 {
+			continue
+		}
+		hy := pt.HybridHash.Total()
+		for name, c := range map[string]JoinCost{
+			"sort-merge": pt.SortMerge, "simple-hash": pt.SimpleHash, "grace-hash": pt.GraceHash,
+		} {
+			if hy > c.Total()*1.001 {
+				t.Errorf("ratio %.3f: hybrid %.1fs should beat %s %.1fs", pt.Ratio, hy, name, c.Total())
+			}
+		}
+	}
+}
+
+func TestFigure1HashBeatsSortMergeEverywhere(t *testing.T) {
+	// Paper: "once the size of main memory exceeds the square root of the
+	// size of the relations ... the fastest algorithms ... are based on
+	// hashing". The whole Figure 1 grid satisfies the memory bound.
+	for _, pt := range table2Points(t) {
+		if pt.HybridHash.Total() >= pt.SortMerge.Total() {
+			t.Errorf("ratio %.3f: hybrid %.1fs not below sort-merge %.1fs",
+				pt.Ratio, pt.HybridHash.Total(), pt.SortMerge.Total())
+		}
+	}
+}
+
+func TestFigure1SortMergeShape(t *testing.T) {
+	pts := table2Points(t)
+	// Flat below 1.0 (IO bound), improving to ~900s once both relations
+	// sort in memory.
+	var below, at1 float64
+	for _, pt := range pts {
+		if pt.Ratio == 0.5 {
+			below = pt.SortMerge.Total()
+		}
+		if pt.Ratio == 1.0 {
+			at1 = pt.SortMerge.Total()
+		}
+	}
+	if below < 1400 || below > 1800 {
+		t.Errorf("sort-merge at ratio 0.5 = %.1fs, expected ~1600s", below)
+	}
+	if at1 < 700 || at1 > 1100 {
+		t.Errorf("sort-merge at ratio 1.0 = %.1fs, expected ~900s (paper: 'improve to approximately 900 seconds')", at1)
+	}
+	if at1 >= below {
+		t.Errorf("sort-merge must improve at full memory: %.1f -> %.1f", below, at1)
+	}
+}
+
+func TestFigure1GraceFlat(t *testing.T) {
+	pts := table2Points(t)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, pt := range pts {
+		v := pt.GraceHash.Total()
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if (hi-lo)/lo > 0.01 {
+		t.Errorf("grace should be memory-insensitive: min %.1f max %.1f", lo, hi)
+	}
+	if lo < 600 || hi > 900 {
+		t.Errorf("grace total %.1f..%.1f outside the expected ~740s band", lo, hi)
+	}
+}
+
+func TestFigure1SimpleHashCollapsesAtSmallMemory(t *testing.T) {
+	pts := table2Points(t)
+	first := pts[0]
+	if first.SimpleHash.Total() < 4*first.HybridHash.Total() {
+		t.Errorf("simple hash at ratio %.3f = %.1fs should be several times hybrid %.1fs",
+			first.Ratio, first.SimpleHash.Total(), first.HybridHash.Total())
+	}
+	// And it converges with hybrid once only one pass-over remains.
+	last := pts[len(pts)-1]
+	if math.Abs(last.SimpleHash.Total()-last.HybridHash.Total()) > 1 {
+		t.Errorf("at full memory simple %.1fs and hybrid %.1fs should coincide",
+			last.SimpleHash.Total(), last.HybridHash.Total())
+	}
+}
+
+func TestFigure1AllHashAlgorithmsCheapAtFullMemory(t *testing.T) {
+	pts := table2Points(t)
+	last := pts[len(pts)-1]
+	if last.Ratio != 1.0 {
+		t.Fatalf("grid should end at 1.0, got %.3f", last.Ratio)
+	}
+	if last.HybridHash.Total() > 30 {
+		t.Errorf("hybrid at ratio 1.0 = %.1fs, expected ~17s (pure CPU)", last.HybridHash.Total())
+	}
+	if last.HybridHash.IO != 0 {
+		t.Errorf("hybrid at ratio 1.0 charged %.1fs of IO, expected none", last.HybridHash.IO)
+	}
+}
+
+func TestFigure1HybridDiscontinuityAtHalf(t *testing.T) {
+	p := cost.DefaultParams()
+	w := Table2Workload()
+	// Just below half memory two output buffers force IOrand; just above,
+	// a single buffer writes sequentially (the paper's footnote).
+	below := HybridHashCost(p, w, 5900)
+	above := HybridHashCost(p, w, 6100)
+	if below.Total() <= above.Total() {
+		t.Errorf("expected a drop crossing |M| = |R|*F/2: %.1fs -> %.1fs", below.Total(), above.Total())
+	}
+	if below.Total()-above.Total() < 50 {
+		t.Errorf("discontinuity too small: %.1fs vs %.1fs", below.Total(), above.Total())
+	}
+}
+
+func TestTable3RankingInvariant(t *testing.T) {
+	outcomes, err := Table3Sweep(Table3Settings(), DefaultRatios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.SortMergeBeatenShare != 1 {
+			t.Errorf("%s: hybrid beat sort-merge at only %.0f%% of grid points",
+				o.Setting.Name, 100*o.SortMergeBeatenShare)
+		}
+		// Hybrid is first or second (the simple-hash IOseq artifact region)
+		// everywhere, per the paper's "same qualitative shape and relative
+		// positioning" claim.
+		if o.HybridWorstRank > 2 {
+			t.Errorf("%s: hybrid fell to rank %d", o.Setting.Name, o.HybridWorstRank)
+		}
+	}
+}
+
+func TestTable1CrossoverMatchesPaperConclusion(t *testing.T) {
+	base := AccessParams{R: 1_000_000, K: 8, L: 100, P: 4096}
+	ys := []float64{0.5, 0.7, 0.9, 1.0}
+	zs := []float64{10, 20, 30}
+	random, sequential := Table1(base, ys, zs, 1000)
+	for _, rows := range [][]Table1Row{random, sequential} {
+		for _, row := range rows {
+			for i, h := range row.CrossoverH {
+				// Paper: "B+-trees are the preferred storage mechanism
+				// unless more than 80-90% of the database fits in main
+				// memory."
+				if h < 0.80 || h >= 1 {
+					t.Errorf("Z=%.0f Y=%.1f: crossover H=%.3f outside [0.80, 1)", row.Z, ys[i], h)
+				}
+			}
+		}
+	}
+	// Y discounts AVL comparisons, so smaller Y must lower the crossover.
+	for _, row := range random {
+		for i := 1; i < len(row.CrossoverH); i++ {
+			if row.CrossoverH[i-1] >= row.CrossoverH[i] {
+				t.Errorf("Z=%.0f: crossover should increase with Y: %v", row.Z, row.CrossoverH)
+			}
+		}
+	}
+}
+
+func TestAVLAlwaysWinsFullyResident(t *testing.T) {
+	// §2: "if |M|>S, AVL trees are the preferred structure regardless of
+	// the values of H, Y, and Z."
+	f := func(rSeed uint32, y8, z8 uint8) bool {
+		p := AccessParams{
+			R: int64(rSeed)%1_000_000 + 1000,
+			K: 8, L: 100, P: 4096,
+			Y:       float64(y8%10+1) / 10.0,
+			Z:       float64(z8%30 + 1),
+			MemFrac: 1,
+		}
+		a, b := p.RandomAccessCosts()
+		return a <= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessParamsGeometry(t *testing.T) {
+	p := AccessParams{R: 1_000_000, K: 8, L: 100, P: 4096, Y: 1, Z: 20}
+	// S ≈ 0.69 * S' when L >> pointer size (paper's observation).
+	ratio := p.AVLPages() / p.BTreePages()
+	if ratio < 0.6 || ratio > 0.8 {
+		t.Errorf("S/S' = %.3f, expected ≈ 0.69*(L+8)/L ≈ 0.75", ratio)
+	}
+	if h := p.BTreeHeight(); h < 2 || h > 4 {
+		t.Errorf("index height %v for 1M tuples, expected 2-3", h)
+	}
+	if c := p.AVLComparisons(); math.Abs(c-(math.Log2(1e6)+0.25)) > 1e-9 {
+		t.Errorf("C = %.3f", c)
+	}
+}
+
+// TestCostFormulaConstants pins hand-computed Table 2 values so any
+// accidental change to a formula term is caught exactly.
+func TestCostFormulaConstants(t *testing.T) {
+	p := cost.DefaultParams()
+	w := Table2Workload()
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%s = %.3f s, hand-computed %.3f s", name, got, want)
+		}
+	}
+	// GRACE: 800k hashes twice, 1.2M moves, 480k probes; 20k pages random
+	// out + sequential back.
+	g := GraceHashCost(p, w, 3000)
+	approx("grace CPU", g.CPU, 2*800000*9e-6+800000*20e-6+400000*1.2*3e-6+400000*20e-6)
+	approx("grace IO", g.IO, 20000*0.025+20000*0.010)
+
+	// Hybrid with everything resident (q=1): one hash pass, probes, builds.
+	h := HybridHashCost(p, w, 12000)
+	approx("hybrid@1.0 CPU", h.CPU, 800000*9e-6+400000*1.2*3e-6+400000*20e-6)
+	if h.IO != 0 {
+		t.Errorf("hybrid@1.0 IO = %.3f", h.IO)
+	}
+
+	// Simple hash single pass equals hybrid at full memory.
+	s := SimpleHashCost(p, w, 12000)
+	approx("simple@1.0", s.Total(), h.Total())
+
+	// In-memory sort-merge: two heap sorts plus the merging join.
+	sm := SortMergeCost(p, w, 12000)
+	approx("sort-merge@1.0", sm.Total(),
+		2*400000*math.Log2(400000)*(3e-6+60e-6)+800000*3e-6)
+}
+
+func TestFigure1RejectsInvalidInput(t *testing.T) {
+	p := cost.DefaultParams()
+	if _, err := Figure1(p, JoinWorkload{RPages: 10, SPages: 5, RTuplesPerPage: 1, STuplesPerPage: 1}, DefaultRatios()); err == nil {
+		t.Error("|R| > |S| should be rejected")
+	}
+	bad := p
+	bad.F = 0.5
+	if _, err := Figure1(bad, Table2Workload(), DefaultRatios()); err == nil {
+		t.Error("F < 1 should be rejected")
+	}
+	if _, err := Figure1(p, Table2Workload(), []float64{0.0001}); err == nil {
+		t.Error("ratios below the two-pass bound should be rejected")
+	}
+}

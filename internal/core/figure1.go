@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mmdb/internal/cost"
+)
+
+// Figure1Point is one x-position of Figure 1: the four algorithm costs at a
+// given memory-to-relation ratio.
+type Figure1Point struct {
+	Ratio      float64 // |M| / (|R|*F), the Figure 1 horizontal axis
+	M          int     // pages of memory
+	SortMerge  JoinCost
+	SimpleHash JoinCost
+	GraceHash  JoinCost
+	HybridHash JoinCost
+}
+
+// Best returns the name of the cheapest algorithm at this point.
+func (pt Figure1Point) Best() string {
+	best, name := pt.SortMerge.Total(), "sort-merge"
+	if t := pt.SimpleHash.Total(); t < best {
+		best, name = t, "simple-hash"
+	}
+	if t := pt.GraceHash.Total(); t < best {
+		best, name = t, "grace-hash"
+	}
+	if t := pt.HybridHash.Total(); t < best {
+		best, name = t, "hybrid-hash"
+	}
+	_ = best
+	return name
+}
+
+// Figure1 evaluates all four cost formulas over a grid of memory ratios.
+// Ratios below sqrt(|S|*F)/(|R|*F) violate the paper's two-pass assumption
+// and are skipped.
+func Figure1(p cost.Params, w JoinWorkload, ratios []float64) ([]Figure1Point, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	minM := MinMemoryPages(p, w)
+	var out []Figure1Point
+	for _, r := range ratios {
+		m := int(math.Round(r * float64(w.RPages) * p.F))
+		if m < minM {
+			continue
+		}
+		out = append(out, Figure1Point{
+			Ratio:      r,
+			M:          m,
+			SortMerge:  SortMergeCost(p, w, m),
+			SimpleHash: SimpleHashCost(p, w, m),
+			GraceHash:  GraceHashCost(p, w, m),
+			HybridHash: HybridHashCost(p, w, m),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no ratio in the grid satisfies |M| >= sqrt(|S|*F)")
+	}
+	return out, nil
+}
+
+// DefaultRatios returns the Figure 1 horizontal axis grid.
+func DefaultRatios() []float64 {
+	var rs []float64
+	for r := 0.025; r <= 1.0001; r += 0.025 {
+		rs = append(rs, math.Round(r*1000)/1000)
+	}
+	return rs
+}
+
+// Table3Setting is one corner of the Table 3 sensitivity box.
+type Table3Setting struct {
+	Name   string
+	Params cost.Params
+	W      JoinWorkload
+}
+
+// Table3Outcome summarizes the qualitative claims checked per setting.
+type Table3Outcome struct {
+	Setting Table3Setting
+	// HybridWorstRank is the worst rank hybrid hash takes across the ratio
+	// grid (1 = always cheapest). The paper's claim is that the relative
+	// positioning of Figure 1 is preserved: hybrid at or near the top.
+	HybridWorstRank int
+	// HybridBestShare is the fraction of grid points where hybrid is
+	// strictly cheapest or tied within 1%.
+	HybridBestShare float64
+	// SortMergeBeatenShare is the fraction of grid points where hybrid
+	// beats sort-merge (the "hashing wins above sqrt(|S|*F)" claim; the
+	// whole grid satisfies that bound, so this should be 1).
+	SortMergeBeatenShare float64
+}
+
+// Table3Sweep evaluates the Figure 1 grid at every setting and summarizes
+// whether the qualitative ranking holds.
+func Table3Sweep(settings []Table3Setting, ratios []float64) ([]Table3Outcome, error) {
+	var out []Table3Outcome
+	for _, s := range settings {
+		pts, err := Figure1(s.Params, s.W, ratios)
+		if err != nil {
+			return nil, fmt.Errorf("core: setting %q: %w", s.Name, err)
+		}
+		o := Table3Outcome{Setting: s, HybridWorstRank: 1}
+		bestCount, beatSM := 0, 0
+		for _, pt := range pts {
+			hy := pt.HybridHash.Total()
+			rank := 1
+			for _, other := range []float64{pt.SortMerge.Total(), pt.SimpleHash.Total(), pt.GraceHash.Total()} {
+				if other < hy*0.999 {
+					rank++
+				}
+			}
+			if rank > o.HybridWorstRank {
+				o.HybridWorstRank = rank
+			}
+			if rank == 1 || hy <= 1.01*minOf(pt.SortMerge.Total(), pt.SimpleHash.Total(), pt.GraceHash.Total()) {
+				bestCount++
+			}
+			if hy < pt.SortMerge.Total() {
+				beatSM++
+			}
+		}
+		o.HybridBestShare = float64(bestCount) / float64(len(pts))
+		o.SortMergeBeatenShare = float64(beatSM) / float64(len(pts))
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func minOf(xs ...float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Table3Settings returns the corner settings of the paper's Table 3
+// parameter box, plus the Table 2 baseline.
+func Table3Settings() []Table3Setting {
+	base := cost.DefaultParams()
+	w := Table2Workload()
+	mk := func(name string, mut func(*cost.Params, *JoinWorkload)) Table3Setting {
+		p, ww := base, w
+		mut(&p, &ww)
+		return Table3Setting{Name: name, Params: p, W: ww}
+	}
+	return []Table3Setting{
+		{Name: "table2-baseline", Params: base, W: w},
+		mk("cpu-fast", func(p *cost.Params, _ *JoinWorkload) {
+			p.Comp, p.Hash, p.Move, p.Swap = 1000, 2000, 10000, 20000 // ns
+		}),
+		mk("cpu-slow", func(p *cost.Params, _ *JoinWorkload) {
+			p.Comp, p.Hash, p.Move, p.Swap = 10000, 50000, 50000, 250000 // ns
+		}),
+		mk("io-fast", func(p *cost.Params, _ *JoinWorkload) {
+			p.IOSeq, p.IORand = 5e6, 15e6 // ns
+		}),
+		mk("io-slow", func(p *cost.Params, _ *JoinWorkload) {
+			p.IOSeq, p.IORand = 10e6, 35e6 // ns
+		}),
+		mk("fudge-low", func(p *cost.Params, _ *JoinWorkload) { p.F = 1.0 }),
+		mk("fudge-high", func(p *cost.Params, _ *JoinWorkload) { p.F = 1.4 }),
+		mk("s-large", func(_ *cost.Params, w *JoinWorkload) { w.SPages = 200000 }),
+		mk("r-small-tuples", func(_ *cost.Params, w *JoinWorkload) {
+			w.RPages = 2500 // 100,000 tuples at 40/page
+		}),
+		mk("r-many-tuples", func(_ *cost.Params, w *JoinWorkload) {
+			w.RPages = 25000
+			w.SPages = 25000 // 1,000,000 tuples at 40/page
+		}),
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mmdb/internal/cost"
+)
+
+// JoinWorkload characterizes the two relations of a §3 join in the paper's
+// units.
+type JoinWorkload struct {
+	RPages, SPages                 int // |R|, |S|
+	RTuplesPerPage, STuplesPerPage int
+}
+
+// Table2Workload returns the Figure 1 workload: |R| = |S| = 10,000 pages at
+// 40 tuples per page.
+func Table2Workload() JoinWorkload {
+	return JoinWorkload{RPages: 10000, SPages: 10000, RTuplesPerPage: 40, STuplesPerPage: 40}
+}
+
+// RTuples returns ||R||.
+func (w JoinWorkload) RTuples() float64 { return float64(w.RPages * w.RTuplesPerPage) }
+
+// STuples returns ||S||.
+func (w JoinWorkload) STuples() float64 { return float64(w.SPages * w.STuplesPerPage) }
+
+// Validate checks the workload and the paper's standing assumption
+// |R| <= |S|.
+func (w JoinWorkload) Validate() error {
+	if w.RPages < 1 || w.SPages < 1 || w.RTuplesPerPage < 1 || w.STuplesPerPage < 1 {
+		return fmt.Errorf("core: workload dimensions must be positive: %+v", w)
+	}
+	if w.RPages > w.SPages {
+		return fmt.Errorf("core: the paper assumes |R| <= |S| (got |R|=%d, |S|=%d)", w.RPages, w.SPages)
+	}
+	return nil
+}
+
+// JoinCost is an analytic cost broken into CPU and IO seconds.
+type JoinCost struct {
+	CPU float64 // seconds
+	IO  float64 // seconds
+}
+
+// Total returns CPU+IO in seconds (the paper assumes no CPU/IO overlap).
+func (c JoinCost) Total() float64 { return c.CPU + c.IO }
+
+// Duration returns the total as a time.Duration.
+func (c JoinCost) Duration() time.Duration {
+	return time.Duration(c.Total() * float64(time.Second))
+}
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// log2c returns log2(x) clamped below at 0 (a queue of one element costs
+// nothing to maintain).
+func log2c(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// SortMergeCost is the §3.4 formula. Run formation inserts every tuple
+// into a priority queue of the tuples that fit in memory; runs are written
+// sequentially and read back with random IO; the final merge drives a
+// selection tree with one entry per run; the merging join compares each
+// surviving pair once.
+//
+// When both relations fit in memory the runs are never written, which is
+// the paper's "above a ratio of 1.0 sort-merge improves to approximately
+// 900 seconds" regime.
+func SortMergeCost(p cost.Params, w JoinWorkload, m int) JoinCost {
+	rt, st := w.RTuples(), w.STuples()
+	cs := secs(p.Comp) + secs(p.Swap)
+
+	memR := float64(m) * float64(w.RTuplesPerPage) / p.F // queue capacity in R tuples
+	memS := float64(m) * float64(w.STuplesPerPage) / p.F
+
+	inMemory := float64(w.RPages)*p.F <= float64(m) && float64(w.SPages)*p.F <= float64(m)
+	if inMemory {
+		cpu := (rt*log2c(rt) + st*log2c(st)) * cs
+		cpu += (rt + st) * secs(p.Comp) // join the merged streams
+		return JoinCost{CPU: cpu}
+	}
+
+	// Phase 1: form runs of ~2*|M| pages with replacement selection.
+	cpu := (rt*log2c(math.Min(rt, memR)) + st*log2c(math.Min(st, memS))) * cs
+	io := float64(w.RPages+w.SPages) * secs(p.IOSeq) // write runs sequentially
+
+	// Phase 2: merge all runs at once (guaranteed by |M| >= sqrt(|S|*F)),
+	// reading run pages with random IO, and join the merged outputs.
+	runsR := math.Max(1, math.Ceil(float64(w.RPages)*p.F/(2*float64(m))))
+	runsS := math.Max(1, math.Ceil(float64(w.SPages)*p.F/(2*float64(m))))
+	cpu += (rt*log2c(runsR) + st*log2c(runsS)) * cs
+	io += float64(w.RPages+w.SPages) * secs(p.IORand)
+	cpu += (rt + st) * secs(p.Comp)
+	return JoinCost{CPU: cpu, IO: io}
+}
+
+// SimpleHashCost is the §3.5 formula. A = ceil(|R|*F/|M|) passes; each
+// pass keeps |M|/F pages of R tuples resident and passes the rest over to
+// disk, rereading them next pass.
+func SimpleHashCost(p cost.Params, w JoinWorkload, m int) JoinCost {
+	rt, st := w.RTuples(), w.STuples()
+	hm := secs(p.Hash) + secs(p.Move)
+
+	passes := math.Ceil(float64(w.RPages) * p.F / float64(m))
+	memR := float64(m) * float64(w.RTuplesPerPage) / p.F // R tuples resident per pass
+
+	// Passed-over tuple volume summed over passes 1..A-1:
+	// sum_i (||R|| - i*{M}R) and the proportional share of S.
+	var passedR, passedS float64
+	for i := 1.0; i < passes; i++ {
+		rRem := rt - i*memR
+		if rRem < 0 {
+			rRem = 0
+		}
+		passedR += rRem
+		passedS += st * rRem / rt
+	}
+
+	cpu := rt*hm +
+		st*(secs(p.Hash)+p.F*secs(p.Comp)) +
+		passedR*hm +
+		passedS*hm
+
+	pagesR := passedR / float64(w.RTuplesPerPage)
+	pagesS := passedS / float64(w.STuplesPerPage)
+	io := (pagesR + pagesS) * 2 * secs(p.IOSeq) // write then read passed-over tuples
+	return JoinCost{CPU: cpu, IO: io}
+}
+
+// GraceHashCost is the §3.6 formula: both relations are fully partitioned
+// to disk (random writes from the per-bucket output buffers, sequential
+// reads in phase two) and every tuple is hashed once per phase.
+func GraceHashCost(p cost.Params, w JoinWorkload, m int) JoinCost {
+	rt, st := w.RTuples(), w.STuples()
+	_ = m                         // GRACE's cost is independent of memory size once |M| >= sqrt(|S|*F)
+	cpu := (rt+st)*secs(p.Hash) + // phase 1: hash to partition
+		(rt+st)*secs(p.Move) + // move to output buffers
+		(rt+st)*secs(p.Hash) + // phase 2: hash to build/probe
+		st*p.F*secs(p.Comp) + // probe for each tuple of S
+		rt*secs(p.Move) // move tuples into the hash tables
+	io := float64(w.RPages+w.SPages)*secs(p.IORand) + // write from output buffers
+		float64(w.RPages+w.SPages)*secs(p.IOSeq) // read sets into memory
+	return JoinCost{CPU: cpu, IO: io}
+}
+
+// HybridHashCost is the §3.7 formula, with q = |R0|/|R| the fraction of R
+// whose hash table stays resident. Per the paper's footnote, when there is
+// only one output buffer (|M| > |R|*F/2) the IOrand term for partition
+// writes becomes IOseq, producing the Figure 1 discontinuity at 0.5.
+func HybridHashCost(p cost.Params, w JoinWorkload, m int) JoinCost {
+	rt, st := w.RTuples(), w.STuples()
+	rf := float64(w.RPages) * p.F
+	mf := float64(m)
+
+	q := 1.0
+	buffers := 0
+	if rf > mf {
+		b := math.Ceil((rf - mf) / (mf - 1))
+		if b < 1 {
+			b = 1
+		}
+		buffers = int(b)
+		q = (mf - b) / rf
+		if q < 0 {
+			q = 0
+		}
+	}
+
+	cpu := (rt+st)*secs(p.Hash) + // partition R and S
+		(rt+st)*(1-q)*secs(p.Move) + // move tuples to output buffers
+		(rt+st)*(1-q)*secs(p.Hash) + // build hash tables for R, find probe site for S
+		st*p.F*secs(p.Comp) + // probe for each tuple of S
+		rt*secs(p.Move) // move tuples to hash tables for R
+
+	writeIO := secs(p.IORand)
+	if buffers <= 1 {
+		writeIO = secs(p.IOSeq)
+	}
+	io := float64(w.RPages+w.SPages)*(1-q)*writeIO + // write from output buffers
+		float64(w.RPages+w.SPages)*(1-q)*secs(p.IOSeq) // read sets into memory
+	return JoinCost{CPU: cpu, IO: io}
+}
+
+// MinMemoryPages returns the paper's standing assumption sqrt(|S|*F),
+// the least memory for which all four algorithms need at most two passes.
+func MinMemoryPages(p cost.Params, w JoinWorkload) int {
+	return int(math.Ceil(math.Sqrt(float64(w.SPages) * p.F)))
+}

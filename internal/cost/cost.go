@@ -1,0 +1,194 @@
+// Package cost defines the performance parameter model of DeWitt et al.
+// (SIGMOD 1984) and a deterministic virtual clock.
+//
+// Every algorithm in this repository charges its CPU work (comparisons,
+// hashes, tuple moves, swaps) and IO work (sequential and random page
+// operations) to a Clock. Experiments report virtual elapsed time computed
+// from the Table 2 / Table 3 parameter settings, which makes the 1984 disk
+// and CPU ratios reproducible on modern hardware.
+package cost
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Params holds the computer-system characterization of the paper (§3.2).
+// Zero values are invalid; use DefaultParams (Table 2) as a starting point.
+type Params struct {
+	Comp   time.Duration // time to compare two keys
+	Hash   time.Duration // time to hash a key
+	Move   time.Duration // time to move a tuple
+	Swap   time.Duration // time to swap two tuples
+	IOSeq  time.Duration // time to perform a sequential IO operation
+	IORand time.Duration // time to perform a random IO operation
+	F      float64       // universal "fudge" factor for hash/sort structures
+}
+
+// DefaultParams returns the Table 2 parameter settings used to generate
+// Figure 1 of the paper.
+func DefaultParams() Params {
+	return Params{
+		Comp:   3 * time.Microsecond,
+		Hash:   9 * time.Microsecond,
+		Move:   20 * time.Microsecond,
+		Swap:   60 * time.Microsecond,
+		IOSeq:  10 * time.Millisecond,
+		IORand: 25 * time.Millisecond,
+		F:      1.2,
+	}
+}
+
+// Validate reports an error when a parameter is non-positive or when the
+// fudge factor is below one.
+func (p Params) Validate() error {
+	switch {
+	case p.Comp <= 0, p.Hash <= 0, p.Move <= 0, p.Swap <= 0:
+		return fmt.Errorf("cost: CPU parameters must be positive: %+v", p)
+	case p.IOSeq <= 0, p.IORand <= 0:
+		return fmt.Errorf("cost: IO parameters must be positive: %+v", p)
+	case p.F < 1.0:
+		return fmt.Errorf("cost: fudge factor F=%g must be >= 1", p.F)
+	}
+	return nil
+}
+
+// Counters records how many primitive operations have been charged.
+type Counters struct {
+	Comps   int64 // key comparisons
+	Hashes  int64 // key hashes
+	Moves   int64 // tuple moves
+	Swaps   int64 // tuple swaps
+	SeqIOs  int64 // sequential page IOs
+	RandIOs int64 // random page IOs
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Comps += o.Comps
+	c.Hashes += o.Hashes
+	c.Moves += o.Moves
+	c.Swaps += o.Swaps
+	c.SeqIOs += o.SeqIOs
+	c.RandIOs += o.RandIOs
+}
+
+// Sub returns c minus o.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Comps:   c.Comps - o.Comps,
+		Hashes:  c.Hashes - o.Hashes,
+		Moves:   c.Moves - o.Moves,
+		Swaps:   c.Swaps - o.Swaps,
+		SeqIOs:  c.SeqIOs - o.SeqIOs,
+		RandIOs: c.RandIOs - o.RandIOs,
+	}
+}
+
+// CPUTime returns the virtual CPU time the counters represent under p.
+func (c Counters) CPUTime(p Params) time.Duration {
+	return time.Duration(c.Comps)*p.Comp +
+		time.Duration(c.Hashes)*p.Hash +
+		time.Duration(c.Moves)*p.Move +
+		time.Duration(c.Swaps)*p.Swap
+}
+
+// IOTime returns the virtual IO time the counters represent under p.
+func (c Counters) IOTime(p Params) time.Duration {
+	return time.Duration(c.SeqIOs)*p.IOSeq + time.Duration(c.RandIOs)*p.IORand
+}
+
+// Time returns the total virtual time (CPU + IO, no overlap, as assumed in
+// §3.2 of the paper).
+func (c Counters) Time(p Params) time.Duration {
+	return c.CPUTime(p) + c.IOTime(p)
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("comps=%d hashes=%d moves=%d swaps=%d seqIO=%d randIO=%d",
+		c.Comps, c.Hashes, c.Moves, c.Swaps, c.SeqIOs, c.RandIOs)
+}
+
+// Clock is a virtual clock with operation counters. It is safe for
+// concurrent use. The zero Clock is not usable; construct with NewClock.
+type Clock struct {
+	mu       sync.Mutex
+	params   Params
+	now      time.Duration
+	counters Counters
+}
+
+// NewClock returns a clock charging at the given parameters.
+func NewClock(p Params) *Clock {
+	return &Clock{params: p}
+}
+
+// Params returns the parameter set the clock charges at.
+func (c *Clock) Params() Params {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.params
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Counters returns a snapshot of the operation counters.
+func (c *Clock) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}
+
+// Reset zeroes the clock and its counters.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+	c.counters = Counters{}
+}
+
+// Advance moves the clock forward by d without charging any counter. It is
+// used by the discrete-event transaction simulator for think time and
+// device service time.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("cost: negative clock advance")
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Comps charges n key comparisons.
+func (c *Clock) Comps(n int64) { c.charge(n, &c.counters.Comps, c.params.Comp) }
+
+// Hashes charges n key hashes.
+func (c *Clock) Hashes(n int64) { c.charge(n, &c.counters.Hashes, c.params.Hash) }
+
+// Moves charges n tuple moves.
+func (c *Clock) Moves(n int64) { c.charge(n, &c.counters.Moves, c.params.Move) }
+
+// Swaps charges n tuple swaps.
+func (c *Clock) Swaps(n int64) { c.charge(n, &c.counters.Swaps, c.params.Swap) }
+
+// SeqIOs charges n sequential page IO operations.
+func (c *Clock) SeqIOs(n int64) { c.charge(n, &c.counters.SeqIOs, c.params.IOSeq) }
+
+// RandIOs charges n random page IO operations.
+func (c *Clock) RandIOs(n int64) { c.charge(n, &c.counters.RandIOs, c.params.IORand) }
+
+func (c *Clock) charge(n int64, counter *int64, unit time.Duration) {
+	if n < 0 {
+		panic("cost: negative charge")
+	}
+	c.mu.Lock()
+	*counter += n
+	c.now += time.Duration(n) * unit
+	c.mu.Unlock()
+}

@@ -1,0 +1,120 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultParamsMatchTable2(t *testing.T) {
+	p := DefaultParams()
+	if p.Comp != 3*time.Microsecond || p.Hash != 9*time.Microsecond ||
+		p.Move != 20*time.Microsecond || p.Swap != 60*time.Microsecond ||
+		p.IOSeq != 10*time.Millisecond || p.IORand != 25*time.Millisecond ||
+		p.F != 1.2 {
+		t.Fatalf("Table 2 defaults wrong: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{},
+		func() Params { p := DefaultParams(); p.Comp = 0; return p }(),
+		func() Params { p := DefaultParams(); p.IORand = -1; return p }(),
+		func() Params { p := DefaultParams(); p.F = 0.9; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestClockChargesAndAdvances(t *testing.T) {
+	c := NewClock(DefaultParams())
+	c.Comps(10)
+	c.Hashes(2)
+	c.Moves(3)
+	c.Swaps(4)
+	c.SeqIOs(1)
+	c.RandIOs(2)
+	got := c.Counters()
+	want := Counters{Comps: 10, Hashes: 2, Moves: 3, Swaps: 4, SeqIOs: 1, RandIOs: 2}
+	if got != want {
+		t.Fatalf("counters %+v", got)
+	}
+	p := DefaultParams()
+	expect := 10*p.Comp + 2*p.Hash + 3*p.Move + 4*p.Swap + p.IOSeq + 2*p.IORand
+	if c.Now() != expect {
+		t.Fatalf("now %v, want %v", c.Now(), expect)
+	}
+	if got.Time(p) != expect {
+		t.Fatalf("Counters.Time %v", got.Time(p))
+	}
+	c.Advance(time.Second)
+	if c.Now() != expect+time.Second {
+		t.Fatal("Advance broken")
+	}
+	c.Reset()
+	if c.Now() != 0 || c.Counters() != (Counters{}) {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestCountersAddSub(t *testing.T) {
+	f := func(a, b Counters) bool {
+		sum := a
+		sum.Add(b)
+		back := sum.Sub(b)
+		return back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUvsIOSplit(t *testing.T) {
+	p := DefaultParams()
+	c := Counters{Comps: 100, SeqIOs: 5}
+	if c.CPUTime(p) != 100*p.Comp {
+		t.Fatal("CPUTime wrong")
+	}
+	if c.IOTime(p) != 5*p.IOSeq {
+		t.Fatal("IOTime wrong")
+	}
+	if c.Time(p) != c.CPUTime(p)+c.IOTime(p) {
+		t.Fatal("Time must be CPU+IO (no overlap, §3.2)")
+	}
+}
+
+func TestClockConcurrentSafety(t *testing.T) {
+	c := NewClock(DefaultParams())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Comps(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counters().Comps; got != 8000 {
+		t.Fatalf("lost updates: %d", got)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	c := NewClock(DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge accepted")
+		}
+	}()
+	c.Comps(-1)
+}

@@ -1,0 +1,76 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrderingAndTies(t *testing.T) {
+	var s Sim
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(time.Second, func() { got = append(got, 1) })
+	s.At(time.Second, func() { got = append(got, 2) }) // tie: scheduling order
+	end := s.Run()
+	if end != 3*time.Second {
+		t.Fatalf("final time %v", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var s Sim
+	var times []time.Duration
+	s.After(time.Second, func() {
+		times = append(times, s.Now())
+		s.After(2*time.Second, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	var s Sim
+	s.At(5*time.Second, func() {
+		s.At(time.Second, func() { // in the past: runs "now"
+			if s.Now() != 5*time.Second {
+				t.Fatalf("past event ran at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	ran := 0
+	s.At(time.Second, func() { ran++ })
+	s.At(10*time.Second, func() { ran++ })
+	s.RunUntil(5 * time.Second)
+	if ran != 1 {
+		t.Fatalf("ran %d events", ran)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock at %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	s.Run()
+	if ran != 2 || s.Now() != 10*time.Second {
+		t.Fatalf("ran=%d now=%v", ran, s.Now())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Fatal("empty queue stepped")
+	}
+}

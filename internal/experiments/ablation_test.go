@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	res, err := RunAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// [A] The §2 footnote: on random inserts the paged BST is no better
+	// than one-page-per-node AVL by more than a structural factor, and on
+	// sorted inserts it degenerates while the B+-tree stays flat.
+	byKey := map[string]PagedTreeRow{}
+	for _, row := range res.PagedTrees {
+		byKey[row.Structure+"/"+row.InsertOrder] = row
+	}
+	bt := byKey["b+tree/random"]
+	pbRandom := byKey["paged binary tree/random"]
+	pbSorted := byKey["paged binary tree/sorted"]
+	btSorted := byKey["b+tree/sorted"]
+	if bt.MeanLookup > 4 {
+		t.Errorf("b+tree lookups touch %.1f pages", bt.MeanLookup)
+	}
+	if pbRandom.MeanLookup < 2*bt.MeanLookup {
+		t.Errorf("paged BST (%.1f pages/lookup) should be clearly worse than B+-tree (%.1f)",
+			pbRandom.MeanLookup, bt.MeanLookup)
+	}
+	if pbSorted.MeanLookup < 20*btSorted.MeanLookup {
+		t.Errorf("sorted-insert paged BST should degenerate: %.1f vs b+tree %.1f",
+			pbSorted.MeanLookup, btSorted.MeanLookup)
+	}
+
+	// [B] All three policies behave on uniform tree lookups (the hot root
+	// levels stay resident regardless); none should be wildly worse.
+	for _, row := range res.Policies {
+		if row.FaultRate > 1.5 {
+			t.Errorf("%v at H=%.2f faults %.2f per lookup", row.Policy, row.H, row.FaultRate)
+		}
+	}
+
+	// [C] The paper-exact partition count pays a recursion pass.
+	var exact, slack SkewRow
+	for _, row := range res.HybridSkew {
+		switch row.Skew {
+		case 1.0:
+			exact = row
+		case 1.25:
+			slack = row
+		}
+	}
+	if exact.Passes <= slack.Passes {
+		t.Errorf("exact-fit B should recurse: %d vs %d passes", exact.Passes, slack.Passes)
+	}
+	if exact.Seconds <= slack.Seconds {
+		t.Errorf("exact-fit B should cost more: %.1f vs %.1f", exact.Seconds, slack.Seconds)
+	}
+
+	// [D] Literal |M| partitions fragment small relations.
+	if len(res.GraceParts) != 2 || res.GraceParts[0].Seconds <= res.GraceParts[1].Seconds {
+		t.Errorf("paper GRACE should cost more on small relations: %+v", res.GraceParts)
+	}
+
+	// [F] §6: versioning keeps writers at the no-reader baseline; shared
+	// locks do not.
+	var baseline, locked, versioned VersioningRow
+	for _, row := range res.Versioning {
+		switch row.Mode {
+		case "no readers (baseline)":
+			baseline = row
+		case "2PL shared locks":
+			locked = row
+		case "versioning [REED83]":
+			versioned = row
+		}
+	}
+	if locked.WriterTPS > 0.7*baseline.WriterTPS {
+		t.Errorf("shared-lock readers barely hurt writers: %.1f vs baseline %.1f",
+			locked.WriterTPS, baseline.WriterTPS)
+	}
+	if versioned.WriterTPS < 0.95*baseline.WriterTPS {
+		t.Errorf("versioning should restore writer throughput: %.1f vs baseline %.1f",
+			versioned.WriterTPS, baseline.WriterTPS)
+	}
+	if versioned.ReaderTPS < 0.9*locked.ReaderTPS {
+		t.Errorf("versioned readers slower than locked: %.1f vs %.1f",
+			versioned.ReaderTPS, locked.ReaderTPS)
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mmdb/internal/core"
+	"mmdb/internal/cost"
+	"mmdb/internal/join"
+	"mmdb/internal/simio"
+	"mmdb/internal/workload"
+)
+
+// Figure1Config parameterizes the join-algorithm comparison.
+type Figure1Config struct {
+	Params cost.Params
+	W      core.JoinWorkload // analytic workload (Table 2 by default)
+	Ratios []float64         // |M|/(|R|*F) grid
+
+	// Executed run: the same relations scaled down by ScaleDiv so the real
+	// operators finish quickly; the virtual clock still uses the Table 2
+	// device times, so shapes are preserved.
+	ScaleDiv       int
+	ExecutedRatios []float64
+	Seed           int64
+}
+
+// DefaultFigure1Config returns the Table 2 settings with a 20x scale-down
+// for the executed runs.
+func DefaultFigure1Config() Figure1Config {
+	return Figure1Config{
+		Params:         cost.DefaultParams(),
+		W:              core.Table2Workload(),
+		Ratios:         core.DefaultRatios(),
+		ScaleDiv:       20,
+		ExecutedRatios: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0},
+		Seed:           7,
+	}
+}
+
+// ExecutedPoint is one measured grid point: virtual seconds per algorithm.
+type ExecutedPoint struct {
+	Ratio                                float64
+	M                                    int
+	SortMerge, SimpleHash, Grace, Hybrid float64 // virtual seconds
+	Matches                              int64
+}
+
+// Figure1Result holds the analytic curves and the executed measurements.
+type Figure1Result struct {
+	Config   Figure1Config
+	Analytic []core.Figure1Point
+	Executed []ExecutedPoint
+}
+
+// RunFigure1 regenerates Figure 1: the analytic §3 cost curves at full
+// Table 2 scale, and the four real operators executed on scaled-down
+// relations with every primitive charged to the virtual clock.
+func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
+	analytic, err := core.Figure1(cfg.Params, cfg.W, cfg.Ratios)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure1Result{Config: cfg, Analytic: analytic}
+	if cfg.ScaleDiv <= 0 {
+		return res, nil
+	}
+
+	// Build the scaled-down relations once; each algorithm execution gets
+	// a fresh clock reading (counters are deltas inside join.Run).
+	clock := cost.NewClock(cfg.Params)
+	disk := simio.NewDisk(clock, 4096)
+	rPages := cfg.W.RPages / cfg.ScaleDiv
+	sPages := cfg.W.SPages / cfg.ScaleDiv
+	rTuples := rPages * cfg.W.RTuplesPerPage
+	sTuples := sPages * cfg.W.STuplesPerPage
+	r, err := workload.Generate(disk, workload.RelationSpec{
+		Name: "fig1.R", Tuples: rTuples, KeyDomain: int64(rTuples), Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := workload.Generate(disk, workload.RelationSpec{
+		Name: "fig1.S", Tuples: sTuples, KeyDomain: int64(rTuples), Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	minM := core.MinMemoryPages(cfg.Params, core.JoinWorkload{
+		RPages: rPages, SPages: sPages,
+		RTuplesPerPage: cfg.W.RTuplesPerPage, STuplesPerPage: cfg.W.STuplesPerPage,
+	})
+	for _, ratio := range cfg.ExecutedRatios {
+		m := int(ratio * float64(rPages) * cfg.Params.F)
+		if m < minM {
+			continue
+		}
+		pt := ExecutedPoint{Ratio: ratio, M: m}
+		spec := join.Spec{R: r, S: s, M: m, F: cfg.Params.F}
+		for _, alg := range []join.Algorithm{join.SortMerge, join.SimpleHash, join.GraceHash, join.HybridHash} {
+			out, err := join.Run(alg, spec, nil)
+			if err != nil {
+				return nil, fmt.Errorf("figure1: %v at ratio %.2f: %w", alg, ratio, err)
+			}
+			secs := out.Counters.Time(cfg.Params).Seconds()
+			switch alg {
+			case join.SortMerge:
+				pt.SortMerge = secs
+			case join.SimpleHash:
+				pt.SimpleHash = secs
+			case join.GraceHash:
+				pt.Grace = secs
+			case join.HybridHash:
+				pt.Hybrid = secs
+			}
+			pt.Matches = out.Matches
+		}
+		res.Executed = append(res.Executed, pt)
+	}
+	return res, nil
+}
+
+// Print renders the curves.
+func (r *Figure1Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1 — execution time (virtual seconds) of the four join algorithms\n")
+	fmt.Fprintf(w, "Workload: |R|=|S|=%d pages, %d tuples/page, F=%.1f (Table 2)\n\n",
+		r.Config.W.RPages, r.Config.W.RTuplesPerPage, r.Config.Params.F)
+	fmt.Fprintf(w, "Analytic model (paper's §3 cost formulas):\n")
+	fmt.Fprintf(w, "  %-7s %-7s %11s %11s %11s %11s  %s\n", "ratio", "|M|", "sort-merge", "simple", "grace", "hybrid", "best")
+	for _, pt := range r.Analytic {
+		fmt.Fprintf(w, "  %-7.3f %-7d %11.1f %11.1f %11.1f %11.1f  %s\n",
+			pt.Ratio, pt.M, pt.SortMerge.Total(), pt.SimpleHash.Total(),
+			pt.GraceHash.Total(), pt.HybridHash.Total(), pt.Best())
+	}
+	if len(r.Executed) > 0 {
+		fmt.Fprintf(w, "\nExecuted operators (1/%d scale, virtual clock, all primitives charged):\n", r.Config.ScaleDiv)
+		fmt.Fprintf(w, "  %-7s %-7s %11s %11s %11s %11s %9s\n", "ratio", "|M|", "sort-merge", "simple", "grace", "hybrid", "matches")
+		for _, pt := range r.Executed {
+			fmt.Fprintf(w, "  %-7.3f %-7d %11.1f %11.1f %11.1f %11.1f %9d\n",
+				pt.Ratio, pt.M, pt.SortMerge, pt.SimpleHash, pt.Grace, pt.Hybrid, pt.Matches)
+		}
+	}
+}
+
+// HybridBestShareExecuted returns the fraction of executed points where
+// hybrid is within tol of the minimum.
+func (r *Figure1Result) HybridBestShareExecuted(tol float64) float64 {
+	if len(r.Executed) == 0 {
+		return 0
+	}
+	n := 0
+	for _, pt := range r.Executed {
+		min := pt.SortMerge
+		for _, v := range []float64{pt.SimpleHash, pt.Grace, pt.Hybrid} {
+			if v < min {
+				min = v
+			}
+		}
+		if pt.Hybrid <= min*(1+tol) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Executed))
+}

@@ -1,0 +1,114 @@
+package extsort
+
+import (
+	"bytes"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/tuple"
+)
+
+// item is a priority queue element: a tuple, its sort key, and the run it
+// belongs to (run formation) or comes from (merge).
+type item struct {
+	run int
+	key []byte
+	tup tuple.Tuple
+}
+
+// lessFunc orders queue items, charging comparisons on the clock as it
+// goes.
+type lessFunc func(a, b *item) bool
+
+// byRunThenKey orders for replacement selection: current-run elements
+// first, by key within a run.
+func byRunThenKey(clock *cost.Clock) lessFunc {
+	return func(a, b *item) bool {
+		if a.run != b.run {
+			return a.run < b.run
+		}
+		clock.Comps(1)
+		return bytes.Compare(a.key, b.key) < 0
+	}
+}
+
+// byKey orders for the final merge (run field breaks ties for determinism).
+func byKey(clock *cost.Clock) lessFunc {
+	return func(a, b *item) bool {
+		clock.Comps(1)
+		if c := bytes.Compare(a.key, b.key); c != 0 {
+			return c < 0
+		}
+		return a.run < b.run
+	}
+}
+
+// pqueue is a binary min-heap that charges one swap per element movement.
+// The paper's priority-queue terms — (comp+swap) per level per insertion —
+// fall out of counting the actual sift operations.
+type pqueue struct {
+	clock *cost.Clock
+	less  lessFunc
+	items []item
+}
+
+func newPQueue(clock *cost.Clock, less lessFunc, capacity int) *pqueue {
+	return &pqueue{clock: clock, less: less, items: make([]item, 0, capacity)}
+}
+
+func (q *pqueue) Len() int { return len(q.items) }
+
+func (q *pqueue) Peek() *item { return &q.items[0] }
+
+func (q *pqueue) Push(it item) {
+	q.items = append(q.items, it)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(&q.items[i], &q.items[parent]) {
+			break
+		}
+		q.clock.Swaps(1)
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *pqueue) Pop() item {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+// Replace pops the minimum and pushes it in one sift, the classic
+// replacement-selection step.
+func (q *pqueue) Replace(it item) item {
+	top := q.items[0]
+	q.items[0] = it
+	q.siftDown(0)
+	return top
+}
+
+func (q *pqueue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		if left >= n {
+			return
+		}
+		child := left
+		if right < n && q.less(&q.items[right], &q.items[left]) {
+			child = right
+		}
+		if !q.less(&q.items[child], &q.items[i]) {
+			return
+		}
+		q.clock.Swaps(1)
+		q.items[i], q.items[child] = q.items[child], q.items[i]
+		i = child
+	}
+}

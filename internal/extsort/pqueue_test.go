@@ -1,0 +1,79 @@
+package extsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/tuple"
+)
+
+func intKey(k int) []byte {
+	return []byte{byte(k >> 8), byte(k)}
+}
+
+func TestPQueuePopsInOrder(t *testing.T) {
+	clock := cost.NewClock(cost.DefaultParams())
+	q := newPQueue(clock, byKey(clock), 16)
+	rng := rand.New(rand.NewSource(1))
+	var want []int
+	for i := 0; i < 500; i++ {
+		k := rng.Intn(1000)
+		want = append(want, k)
+		q.Push(item{key: intKey(k), tup: tuple.Tuple{}})
+	}
+	sort.Ints(want)
+	for i, w := range want {
+		got := q.Pop()
+		if int(got.key[0])<<8|int(got.key[1]) != w {
+			t.Fatalf("pop %d: got %v want %d", i, got.key, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d", q.Len())
+	}
+	if c := clock.Counters(); c.Comps == 0 || c.Swaps == 0 {
+		t.Fatalf("heap work not charged: %+v", c)
+	}
+}
+
+func TestPQueueRunOrdering(t *testing.T) {
+	// Replacement selection orders by (run, key): run-1 elements never
+	// surface before run-0 elements regardless of key.
+	clock := cost.NewClock(cost.DefaultParams())
+	q := newPQueue(clock, byRunThenKey(clock), 8)
+	q.Push(item{run: 1, key: intKey(0), tup: tuple.Tuple{}})
+	q.Push(item{run: 0, key: intKey(900), tup: tuple.Tuple{}})
+	q.Push(item{run: 0, key: intKey(100), tup: tuple.Tuple{}})
+	if got := q.Pop(); got.run != 0 || got.key[1] != intKey(100)[1] {
+		t.Fatalf("first pop = run %d key %v", got.run, got.key)
+	}
+	if got := q.Pop(); got.run != 0 {
+		t.Fatalf("second pop from run %d", got.run)
+	}
+	if got := q.Pop(); got.run != 1 {
+		t.Fatalf("third pop from run %d", got.run)
+	}
+}
+
+func TestPQueueReplace(t *testing.T) {
+	clock := cost.NewClock(cost.DefaultParams())
+	q := newPQueue(clock, byKey(clock), 8)
+	for _, k := range []int{5, 2, 9} {
+		q.Push(item{key: intKey(k), tup: tuple.Tuple{}})
+	}
+	// Replace pops the min (2) while pushing 7 in one sift.
+	got := q.Replace(item{key: intKey(7), tup: tuple.Tuple{}})
+	if got.key[1] != 2 {
+		t.Fatalf("replace returned key %v", got.key)
+	}
+	order := []int{}
+	for q.Len() > 0 {
+		it := q.Pop()
+		order = append(order, int(it.key[0])<<8|int(it.key[1]))
+	}
+	if len(order) != 3 || order[0] != 5 || order[1] != 7 || order[2] != 9 {
+		t.Fatalf("after replace: %v", order)
+	}
+}

@@ -1,0 +1,35 @@
+package hashjoin
+
+import (
+	"testing"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/tuple"
+)
+
+func BenchmarkHash(b *testing.B) {
+	clock := cost.NewClock(cost.DefaultParams())
+	h := NewHasher(clock, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Hash(key(int64(i)))
+	}
+}
+
+func BenchmarkTableInsertProbe(b *testing.B) {
+	clock := cost.NewClock(cost.DefaultParams())
+	schema := tuple.MustSchema(
+		tuple.Field{Name: "k", Kind: tuple.Int64},
+		tuple.Field{Name: "v", Kind: tuple.Int64},
+	)
+	h := NewHasher(clock, 0)
+	tab := NewTable(clock, schema, 0, 1<<16)
+	for i := int64(0); i < 1<<16; i++ {
+		tab.Insert(h.Hash(key(i)), schema.MustEncode(tuple.IntValue(i), tuple.IntValue(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := key(int64(i) & (1<<16 - 1))
+		tab.Probe(h.Hash(k), k, func(tuple.Tuple) {})
+	}
+}

@@ -1,0 +1,176 @@
+// Package join implements the four join algorithms evaluated in §3 of the
+// paper — Sort-Merge, Simple Hash, GRACE Hash and Hybrid Hash — as
+// executable operators over simulated paged storage, plus a nested-loops
+// reference oracle for testing.
+//
+// Each algorithm does the real work (sorting, hashing, partitioning,
+// probing) and charges every primitive operation to the disk's virtual
+// clock with the same accounting discipline as the paper's cost formulas:
+// one hash per tuple per pass, one move per tuple placed in a table or
+// output buffer, one comparison per probe candidate or sort comparison,
+// and IOseq/IOrand per intermediate page written or read. The initial scan
+// of the base relations and the writing of the result are uncharged (§3.2).
+package join
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/heap"
+	"mmdb/internal/tuple"
+)
+
+// Algorithm selects a join implementation.
+type Algorithm int
+
+// The implemented algorithms.
+const (
+	NestedLoops Algorithm = iota // reference oracle (uncharged)
+	SortMerge
+	SimpleHash
+	GraceHash
+	HybridHash
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case NestedLoops:
+		return "nested-loops"
+	case SortMerge:
+		return "sort-merge"
+	case SimpleHash:
+		return "simple-hash"
+	case GraceHash:
+		return "grace-hash"
+	case HybridHash:
+		return "hybrid-hash"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Spec describes one join execution.
+type Spec struct {
+	R, S       *heap.File // R is the smaller (build) relation, per §3.2
+	RCol, SCol int        // equijoin columns
+	M          int        // pages of main memory available (the paper's |M|)
+	F          float64    // fudge factor; 0 means the Table 2 value 1.2
+	GraceParts int        // GRACE partition count; 0 means a fragmentation-aware fit (see grace.go)
+	// HybridSkew scales hybrid hash's partition count above the paper's
+	// exact-fit minimum B = ceil((|R|F-|M|)/(|M|-1)) to absorb hash
+	// variance. 0 means 1.25; 1.0 reproduces the paper's formula verbatim
+	// (and risks the recursive overflow pass of §3.3).
+	HybridSkew float64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.F == 0 {
+		s.F = 1.2
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.R == nil || s.S == nil {
+		return fmt.Errorf("join: spec needs both relations")
+	}
+	if s.M < 2 {
+		return fmt.Errorf("join: need at least 2 pages of memory, got %d", s.M)
+	}
+	if s.F < 1 {
+		return fmt.Errorf("join: fudge factor %g must be >= 1", s.F)
+	}
+	if s.RCol < 0 || s.RCol >= s.R.Schema().NumFields() {
+		return fmt.Errorf("join: R column %d out of range", s.RCol)
+	}
+	if s.SCol < 0 || s.SCol >= s.S.Schema().NumFields() {
+		return fmt.Errorf("join: S column %d out of range", s.SCol)
+	}
+	rw := s.R.Schema().FieldWidth(s.RCol)
+	sw := s.S.Schema().FieldWidth(s.SCol)
+	if rw != sw || s.R.Schema().Field(s.RCol).Kind != s.S.Schema().Field(s.SCol).Kind {
+		return fmt.Errorf("join: join columns have incompatible types")
+	}
+	return nil
+}
+
+// Emit receives one joined pair. The tuple views are only valid during the
+// call.
+type Emit func(r, s tuple.Tuple)
+
+// Result reports a join execution.
+type Result struct {
+	Algorithm  Algorithm
+	Matches    int64         // joined pairs produced
+	Counters   cost.Counters // operations charged by this join
+	Elapsed    time.Duration // virtual time consumed
+	Passes     int           // simple hash: passes; hash joins: 1 + recursion depth
+	Partitions int           // disk partitions created at the top level
+}
+
+// Time returns the join's virtual execution time under p.
+func (r Result) Time(p cost.Params) time.Duration { return r.Counters.Time(p) }
+
+var tmpSeq atomic.Uint64
+
+func tmpPrefix(a Algorithm) string {
+	return fmt.Sprintf("tmp.%s.%d", a, tmpSeq.Add(1))
+}
+
+// Run executes the join with the given algorithm, streaming matches to
+// emit (which may be nil to count only).
+func Run(a Algorithm, spec Spec, emit Emit) (Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	clock := spec.R.Disk().Clock()
+	res := Result{Algorithm: a}
+	counted := func(r, s tuple.Tuple) {
+		res.Matches++
+		if emit != nil {
+			emit(r, s)
+		}
+	}
+	before := clock.Counters()
+	t0 := clock.Now()
+	var err error
+	switch a {
+	case NestedLoops:
+		err = nestedLoops(spec, counted)
+	case SortMerge:
+		err = sortMerge(spec, counted, &res)
+	case SimpleHash:
+		err = simpleHash(spec, counted, &res)
+	case GraceHash:
+		err = graceHash(spec, counted, &res)
+	case HybridHash:
+		err = hybridHash(spec, counted, &res)
+	default:
+		err = fmt.Errorf("join: unknown algorithm %v", a)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Counters = clock.Counters().Sub(before)
+	res.Elapsed = clock.Now() - t0
+	return res, nil
+}
+
+// tableCapacity returns how many tuples of f a hash (or sort) structure
+// occupying m pages can hold, accounting for the fudge factor: a structure
+// holding n tuples occupies n*F/tuplesPerPage pages (§3.2).
+func tableCapacity(m int, f *heap.File, fudge float64) int {
+	c := int(float64(m) * float64(f.TuplesPerPage()) / fudge)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}

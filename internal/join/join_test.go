@@ -1,0 +1,241 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/heap"
+	"mmdb/internal/simio"
+	"mmdb/internal/tuple"
+	"mmdb/internal/workload"
+)
+
+// testPageSize keeps relations multi-page at small tuple counts.
+const testPageSize = 256
+
+func testEnv() (*simio.Disk, *cost.Clock) {
+	clock := cost.NewClock(cost.DefaultParams())
+	return simio.NewDisk(clock, testPageSize), clock
+}
+
+func makeRelation(t testing.TB, disk *simio.Disk, name string, n int, domain int64, seed int64) *heap.File {
+	t.Helper()
+	f, err := workload.Generate(disk, workload.RelationSpec{
+		Name: name, Tuples: n, KeyDomain: domain, PayloadWidth: 12, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("generate %s: %v", name, err)
+	}
+	return f
+}
+
+// matches runs the join and returns the multiset of (r,s) pairs.
+func matches(t testing.TB, a Algorithm, spec Spec) (map[string]int, Result) {
+	t.Helper()
+	got := make(map[string]int)
+	res, err := Run(a, spec, func(r, s tuple.Tuple) {
+		got[fmt.Sprintf("%x|%x", []byte(r), []byte(s))]++
+	})
+	if err != nil {
+		t.Fatalf("%v: %v", a, err)
+	}
+	return got, res
+}
+
+func sameMultiset(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func checkAgainstOracle(t *testing.T, spec Spec) {
+	t.Helper()
+	want, wantRes := matches(t, NestedLoops, spec)
+	for _, a := range []Algorithm{SortMerge, SimpleHash, GraceHash, HybridHash} {
+		got, res := matches(t, a, spec)
+		if res.Matches != wantRes.Matches {
+			t.Errorf("%v: %d matches, oracle %d", a, res.Matches, wantRes.Matches)
+		}
+		if !sameMultiset(got, want) {
+			t.Errorf("%v: match multiset differs from oracle", a)
+		}
+	}
+}
+
+func TestAllAlgorithmsMatchOracle(t *testing.T) {
+	cases := []struct {
+		name       string
+		nR, nS     int
+		domain     int64
+		m          int
+		graceParts int
+	}{
+		{name: "ample-memory", nR: 200, nS: 300, domain: 100, m: 64},
+		{name: "tight-memory", nR: 300, nS: 500, domain: 150, m: 8},
+		{name: "very-tight-memory", nR: 400, nS: 600, domain: 50, m: 5},
+		{name: "unique-keys", nR: 250, nS: 250, domain: 0, m: 10},
+		{name: "no-matches", nR: 100, nS: 100, domain: 1 << 40, m: 8},
+		{name: "few-grace-parts", nR: 300, nS: 400, domain: 99, m: 10, graceParts: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			disk, _ := testEnv()
+			r := makeRelation(t, disk, "R", tc.nR, tc.domain, 1)
+			s := makeRelation(t, disk, "S", tc.nS, tc.domain, 2)
+			checkAgainstOracle(t, Spec{R: r, S: s, M: tc.m, GraceParts: tc.graceParts})
+		})
+	}
+}
+
+func TestDuplicateHeavyKeysForceChunkedFallback(t *testing.T) {
+	disk, _ := testEnv()
+	// Every tuple carries the same key: no hash can split the bucket, so
+	// grace/hybrid must fall back to chunked joining. 200 x 200 pairs.
+	r := makeRelation(t, disk, "R", 200, 1, 3)
+	s := makeRelation(t, disk, "S", 200, 1, 4)
+	spec := Spec{R: r, S: s, M: 4}
+	want, _ := matches(t, NestedLoops, spec)
+	if len(want) == 0 {
+		t.Fatal("expected matches")
+	}
+	for _, a := range []Algorithm{GraceHash, HybridHash, SimpleHash, SortMerge} {
+		got, res := matches(t, a, spec)
+		if !sameMultiset(got, want) {
+			t.Errorf("%v: wrong result on duplicate-only keys", a)
+		}
+		if res.Matches != 200*200 {
+			t.Errorf("%v: %d matches, want %d", a, res.Matches, 200*200)
+		}
+	}
+}
+
+func TestZipfSkewedJoinStillCorrect(t *testing.T) {
+	// §3.3's caveat: hash partitioning assumes a bounded key density.
+	// Zipf-skewed keys overload one bucket; grace/hybrid must recurse (or
+	// chunk) and still produce the oracle's answer.
+	disk, _ := testEnv()
+	mk := func(name string, seed int64) *heap.File {
+		f, err := workload.Generate(disk, workload.RelationSpec{
+			Name: name, Tuples: 400, KeyDomain: 200, ZipfS: 1.3, PayloadWidth: 12, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	r := mk("R", 31)
+	s := mk("S", 32)
+	checkAgainstOracle(t, Spec{R: r, S: s, M: 4})
+}
+
+func TestSimpleHashUsesMultiplePasses(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 500, 100, 5)
+	s := makeRelation(t, disk, "S", 500, 100, 6)
+	_, res := matches(t, SimpleHash, Spec{R: r, S: s, M: 4})
+	if res.Passes < 2 {
+		t.Fatalf("expected multiple passes with tiny memory, got %d", res.Passes)
+	}
+}
+
+func TestSortMergeFormsAndMergesRuns(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 500, 100, 7)
+	s := makeRelation(t, disk, "S", 500, 100, 8)
+	_, res := matches(t, SortMerge, Spec{R: r, S: s, M: 6})
+	if res.Partitions < 4 {
+		t.Fatalf("expected several runs with tiny memory, got %d", res.Partitions)
+	}
+}
+
+func TestHybridResidentFractionSkipsIO(t *testing.T) {
+	disk, clock := testEnv()
+	r := makeRelation(t, disk, "R", 200, 100, 9)
+	s := makeRelation(t, disk, "S", 200, 100, 10)
+	// Plenty of memory: hybrid degenerates to one in-memory pass, no IO.
+	clock.Reset()
+	_, res := matches(t, HybridHash, Spec{R: r, S: s, M: 200})
+	if res.Counters.SeqIOs != 0 || res.Counters.RandIOs != 0 {
+		t.Fatalf("expected no IO with all of R resident, got %v", res.Counters)
+	}
+	if res.Passes != 1 {
+		t.Fatalf("expected a single pass, got %d", res.Passes)
+	}
+}
+
+func TestHybridChargesLessIOThanGrace(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 600, 200, 11)
+	s := makeRelation(t, disk, "S", 600, 200, 12)
+	spec := Spec{R: r, S: s, M: 20}
+	_, hy := matches(t, HybridHash, spec)
+	_, gr := matches(t, GraceHash, spec)
+	hyIO := hy.Counters.SeqIOs + hy.Counters.RandIOs
+	grIO := gr.Counters.SeqIOs + gr.Counters.RandIOs
+	if hyIO >= grIO {
+		t.Fatalf("hybrid IO %d should be below grace IO %d (resident fraction q > 0)", hyIO, grIO)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 10, 5, 13)
+	s := makeRelation(t, disk, "S", 10, 5, 14)
+	cases := []Spec{
+		{R: nil, S: s, M: 8},
+		{R: r, S: s, M: 1},
+		{R: r, S: s, M: 8, F: 0.5},
+		{R: r, S: s, M: 8, RCol: 9},
+		{R: r, S: s, M: 8, SCol: -1},
+	}
+	for i, spec := range cases {
+		if _, err := Run(HybridHash, spec, nil); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestQuickAllAlgorithmsAgree is the property-based check: for random
+// relation sizes, key skew and memory budgets, every algorithm produces the
+// oracle's match multiset.
+func TestQuickAllAlgorithmsAgree(t *testing.T) {
+	type input struct {
+		NR, NS uint8
+		Domain uint8
+		M      uint8
+		Seed   int64
+	}
+	f := func(in input) bool {
+		nR := int(in.NR)%150 + 1
+		nS := nR + int(in.NS)%150 // keep |R| <= |S|
+		domain := int64(in.Domain)%64 + 1
+		m := int(in.M)%30 + 2
+		disk, _ := testEnv()
+		rng := rand.New(rand.NewSource(in.Seed))
+		r := makeRelation(t, disk, "R", nR, domain, rng.Int63())
+		s := makeRelation(t, disk, "S", nS, domain, rng.Int63())
+		spec := Spec{R: r, S: s, M: m}
+		want, _ := matches(t, NestedLoops, spec)
+		for _, a := range []Algorithm{SortMerge, SimpleHash, GraceHash, HybridHash} {
+			got, _ := matches(t, a, spec)
+			if !sameMultiset(got, want) {
+				t.Logf("mismatch: alg=%v nR=%d nS=%d domain=%d m=%d", a, nR, nS, domain, m)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

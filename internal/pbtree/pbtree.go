@@ -1,0 +1,240 @@
+// Package pbtree implements the paged binary tree the paper's §2 footnote
+// dismisses [MUNT70, CESA82]: an unbalanced binary search tree whose nodes
+// are packed onto pages (a new node shares its parent's page while there
+// is room), giving B-tree-like locality on random insertions.
+//
+// The footnote makes two claims this package lets the experiments verify:
+// "the fanout per node will be slightly worse than the B-tree" (a page
+// holds P/(L+2*ptr) nodes versus the leaf's P/L tuples) and "paged binary
+// trees are not balanced and the worst case access time may be
+// significantly poorer" (sorted insertion degenerates to a page-chain of
+// depth N/nodesPerPage).
+package pbtree
+
+import (
+	"bytes"
+	"fmt"
+
+	"mmdb/internal/tuple"
+)
+
+// Config fixes the tree geometry.
+type Config struct {
+	PageSize   int // P
+	TupleWidth int // L
+	Ptr        int // pointer width; 0 means 4
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ptr == 0 {
+		c.Ptr = 4
+	}
+	return c
+}
+
+// NodesPerPage returns how many BST nodes (tuple + two child pointers)
+// fit one page.
+func (c Config) NodesPerPage() int {
+	c = c.withDefaults()
+	return c.PageSize / (c.TupleWidth + 2*c.Ptr)
+}
+
+type node struct {
+	key         []byte
+	tups        []tuple.Tuple
+	left, right *node
+	page        int
+}
+
+// Tree is a paged, unbalanced binary search tree.
+// Not safe for concurrent use.
+type Tree struct {
+	cfg      Config
+	root     *node
+	keys     int
+	tuples   int
+	pageFill []int // nodes on each page
+	openPage int   // most recent page with free slots (overflow target)
+	comps    int64
+}
+
+// New creates an empty tree.
+func New(cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NodesPerPage() < 1 {
+		return nil, fmt.Errorf("pbtree: tuple width %d does not fit page size %d", cfg.TupleWidth, cfg.PageSize)
+	}
+	return &Tree{cfg: cfg}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of distinct keys.
+func (t *Tree) Len() int { return t.keys }
+
+// NumTuples returns the stored tuple count.
+func (t *Tree) NumTuples() int { return t.tuples }
+
+// NumPages returns the number of pages the structure occupies (S).
+func (t *Tree) NumPages() int { return len(t.pageFill) }
+
+// Comparisons returns key comparisons since construction or the last
+// ResetComparisons.
+func (t *Tree) Comparisons() int64 { return t.comps }
+
+// ResetComparisons zeroes the comparison counter.
+func (t *Tree) ResetComparisons() { t.comps = 0 }
+
+// Insert adds tup under key; duplicates chain on one node. The new node is
+// placed on its parent's page when there is room, else on a fresh page
+// (the [MUNT70] allocation rule).
+func (t *Tree) Insert(key []byte, tup tuple.Tuple) {
+	if t.root == nil {
+		t.root = t.newNode(key, tup, -1)
+		return
+	}
+	n := t.root
+	for {
+		t.comps++
+		switch c := bytes.Compare(key, n.key); {
+		case c < 0:
+			if n.left == nil {
+				n.left = t.newNode(key, tup, n.page)
+				return
+			}
+			n = n.left
+		case c > 0:
+			if n.right == nil {
+				n.right = t.newNode(key, tup, n.page)
+				return
+			}
+			n = n.right
+		default:
+			n.tups = append(n.tups, tup)
+			t.tuples++
+			return
+		}
+	}
+}
+
+// newNode allocates a node: on the parent's page when there is room (for
+// path locality), else on the current overflow page (for occupancy), else
+// on a fresh page.
+func (t *Tree) newNode(key []byte, tup tuple.Tuple, parentPage int) *node {
+	t.keys++
+	t.tuples++
+	var page int
+	switch {
+	case parentPage >= 0 && t.pageFill[parentPage] < t.cfg.NodesPerPage():
+		page = parentPage
+	case len(t.pageFill) > 0 && t.pageFill[t.openPage] < t.cfg.NodesPerPage():
+		page = t.openPage
+	default:
+		page = len(t.pageFill)
+		t.pageFill = append(t.pageFill, 0)
+		t.openPage = page
+	}
+	t.pageFill[page]++
+	return &node{
+		key:  append([]byte(nil), key...),
+		tups: []tuple.Tuple{tup},
+		page: page,
+	}
+}
+
+// Search returns the tuples under key. visit (which may be nil) receives
+// the page of every inspected node; consecutive nodes on the same page are
+// reported once, since they cost a single page access.
+func (t *Tree) Search(key []byte, visit func(page int)) []tuple.Tuple {
+	n := t.root
+	lastPage := -1
+	for n != nil {
+		if visit != nil && n.page != lastPage {
+			visit(n.page)
+			lastPage = n.page
+		}
+		t.comps++
+		switch c := bytes.Compare(key, n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n.tups
+		}
+	}
+	return nil
+}
+
+// PathPages returns the number of distinct pages on the root-to-key path
+// (the page-access cost of one lookup).
+func (t *Tree) PathPages(key []byte) int {
+	n := 0
+	t.Search(key, func(int) { n++ })
+	return n
+}
+
+// Height returns the node height of the (unbalanced) tree.
+func (t *Tree) Height() int {
+	var h func(*node) int
+	h = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := h(n.left), h(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}
+
+// CheckInvariants verifies BST ordering and page accounting.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	onPage := make([]int, len(t.pageFill))
+	var walk func(n *node, lo, hi []byte) error
+	walk = func(n *node, lo, hi []byte) error {
+		if n == nil {
+			return nil
+		}
+		count++
+		if n.page < 0 || n.page >= len(t.pageFill) {
+			return fmt.Errorf("pbtree: node on invalid page %d", n.page)
+		}
+		onPage[n.page]++
+		if lo != nil && bytes.Compare(n.key, lo) <= 0 {
+			return fmt.Errorf("pbtree: order violation")
+		}
+		if hi != nil && bytes.Compare(n.key, hi) >= 0 {
+			return fmt.Errorf("pbtree: order violation")
+		}
+		if err := walk(n.left, lo, n.key); err != nil {
+			return err
+		}
+		return walk(n.right, n.key, hi)
+	}
+	if err := walk(t.root, nil, nil); err != nil {
+		return err
+	}
+	if count != t.keys {
+		return fmt.Errorf("pbtree: %d reachable keys, recorded %d", count, t.keys)
+	}
+	for p, want := range t.pageFill {
+		if onPage[p] != want {
+			return fmt.Errorf("pbtree: page %d fill %d, recorded %d", p, onPage[p], want)
+		}
+		if want > t.cfg.NodesPerPage() {
+			return fmt.Errorf("pbtree: page %d overfull (%d > %d)", p, want, t.cfg.NodesPerPage())
+		}
+	}
+	return nil
+}

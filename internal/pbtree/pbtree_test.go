@@ -1,0 +1,163 @@
+package pbtree
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmdb/internal/tuple"
+)
+
+func key(k int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(k)^(1<<63))
+	return b[:]
+}
+
+func cfg() Config {
+	return Config{PageSize: 4096, TupleWidth: 100}
+}
+
+func TestGeometry(t *testing.T) {
+	// A page holds P/(L+2*ptr) = 4096/108 = 37 nodes — "slightly worse
+	// than the B-tree" leaf capacity of 40.
+	if got := cfg().NodesPerPage(); got != 37 {
+		t.Fatalf("nodes/page = %d", got)
+	}
+	if _, err := New(Config{PageSize: 50, TupleWidth: 100}); err == nil {
+		t.Fatal("degenerate geometry accepted")
+	}
+}
+
+func TestInsertSearch(t *testing.T) {
+	tr := MustNew(cfg())
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	for _, k := range rng.Perm(n) {
+		tr.Insert(key(int64(k)), make(tuple.Tuple, 100))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len %d", tr.Len())
+	}
+	for i := 0; i < 200; i++ {
+		k := int64(rng.Intn(n))
+		if got := tr.Search(key(k), nil); len(got) != 1 {
+			t.Fatalf("key %d: %d hits", k, len(got))
+		}
+	}
+	if tr.Search(key(n+7), nil) != nil {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestRandomInsertPageCostSitsBetweenAVLAndBTree(t *testing.T) {
+	// The footnote's quantitative content: paging a BST clusters the hot
+	// upper levels (so it beats the AVL tree's one-page-per-node ≈ log2 N
+	// accesses) but its "fanout per node [is] slightly worse than the
+	// B-tree" and deep levels scatter, so it stays well above the
+	// B+-tree's height+1 ≈ 3 pages.
+	tr := MustNew(cfg())
+	rng := rand.New(rand.NewSource(2))
+	const n = 50000
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		tr.Insert(key(int64(k)), make(tuple.Tuple, 100))
+	}
+	total := 0
+	const lookups = 1000
+	for i := 0; i < lookups; i++ {
+		total += tr.PathPages(key(int64(perm[rng.Intn(n)])))
+	}
+	mean := float64(total) / lookups
+	avlPages := math.Log2(n) + 0.25 // one page per inspected node
+	if mean >= avlPages {
+		t.Fatalf("mean pages/lookup %.1f not below the AVL baseline %.1f", mean, avlPages)
+	}
+	if mean < 4 {
+		t.Fatalf("mean pages/lookup %.1f suspiciously close to a B+-tree — the footnote expects worse", mean)
+	}
+}
+
+func TestSortedInsertsDegenerate(t *testing.T) {
+	// The paper's footnote: "paged binary trees are not balanced and the
+	// worst case access time may be significantly poorer than in the case
+	// of a B-tree." Sorted insertion produces a right spine: ~N/nodesPerPage
+	// pages on the path to the max key.
+	tr := MustNew(cfg())
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Insert(key(int64(i)), make(tuple.Tuple, 100))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	worst := tr.PathPages(key(n - 1))
+	expect := n / cfg().NodesPerPage()
+	if worst < expect*9/10 {
+		t.Fatalf("worst path %d pages, expected ≈%d (degenerate spine)", worst, expect)
+	}
+	if h := tr.Height(); h != n {
+		t.Fatalf("height %d, expected the full spine %d", h, n)
+	}
+}
+
+func TestDuplicateChaining(t *testing.T) {
+	tr := MustNew(cfg())
+	for i := 0; i < 4; i++ {
+		tr.Insert(key(9), make(tuple.Tuple, 100))
+	}
+	if tr.Len() != 1 || tr.NumTuples() != 4 {
+		t.Fatalf("len=%d tuples=%d", tr.Len(), tr.NumTuples())
+	}
+	if got := len(tr.Search(key(9), nil)); got != 4 {
+		t.Fatalf("found %d duplicates", got)
+	}
+}
+
+func TestQuickMatchesOracle(t *testing.T) {
+	f := func(seed int64, n16 uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := MustNew(Config{PageSize: 256, TupleWidth: 20})
+		oracle := map[int64]int{}
+		for i := 0; i < int(n16)%300+10; i++ {
+			k := int64(rng.Intn(60))
+			tr.Insert(key(k), make(tuple.Tuple, 20))
+			oracle[k]++
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for k, n := range oracle {
+			if len(tr.Search(key(k), nil)) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagesBoundedByFill(t *testing.T) {
+	tr := MustNew(cfg())
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	for _, k := range rng.Perm(n) {
+		tr.Insert(key(int64(k)), make(tuple.Tuple, 100))
+	}
+	// Pages cannot be fewer than perfectly packed, nor absurdly many.
+	minPages := int(math.Ceil(float64(n) / float64(cfg().NodesPerPage())))
+	if tr.NumPages() < minPages {
+		t.Fatalf("%d pages below the packing bound %d", tr.NumPages(), minPages)
+	}
+	if tr.NumPages() > 4*minPages {
+		t.Fatalf("%d pages, over 4x the packing bound %d", tr.NumPages(), minPages)
+	}
+}

@@ -1,0 +1,173 @@
+package planner
+
+import (
+	"testing"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/join"
+)
+
+// starQuery is a fact table with two dimensions, one highly selective.
+func starQuery(m int) Query {
+	return Query{
+		M:      m,
+		Params: cost.DefaultParams(),
+		W:      1,
+		Tables: []Table{
+			{Name: "fact", Tuples: 200000, TuplesPerPage: 40, Width: 100, Selectivity: 1,
+				Distinct: map[int]int64{0: 10000, 1: 1000}},
+			{Name: "dimA", Tuples: 10000, TuplesPerPage: 40, Width: 100, Selectivity: 1,
+				Distinct: map[int]int64{0: 10000}},
+			{Name: "dimB", Tuples: 1000, TuplesPerPage: 40, Width: 100, Selectivity: 0.01,
+				Distinct: map[int]int64{1: 1000}},
+		},
+		Edges: []Edge{
+			{A: 0, B: 1, Class: 0},
+			{A: 0, B: 2, Class: 1},
+		},
+	}
+}
+
+func TestOptimizeProducesConnectedLeftDeepPlan(t *testing.T) {
+	p, err := Optimize(starQuery(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := p.Order(starQuery(100))
+	if len(order) != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if p.Weighted <= 0 {
+		t.Fatalf("weighted cost %f", p.Weighted)
+	}
+}
+
+func TestSelectiveTableJoinsEarly(t *testing.T) {
+	// §4: "ordering the operators so that the most selective operations
+	// are pushed towards the bottom of the query tree." dimB keeps 1% of
+	// 1000 tuples, so fact⋈dimB shrinks the intermediate result massively
+	// and must happen before the dimA join.
+	p, err := OptimizeHashOnly(starQuery(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := p.Order(starQuery(100))
+	posB, posA := -1, -1
+	for i, n := range order {
+		switch n {
+		case "dimB":
+			posB = i
+		case "dimA":
+			posA = i
+		}
+	}
+	if posB > posA {
+		t.Fatalf("selective dimB joined after dimA: %v", order)
+	}
+}
+
+func TestHashOnlyMatchesFullAtLargeMemory(t *testing.T) {
+	q := starQuery(50000) // everything fits
+	full, err := Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := OptimizeHashOnly(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.Weighted > full.Weighted*1.01 {
+		t.Fatalf("hash-only plan %.2f worse than full %.2f", hash.Weighted, full.Weighted)
+	}
+	if hash.PlansConsidered >= full.PlansConsidered {
+		t.Fatalf("hash-only considered %d plans, full %d — no search-space reduction",
+			hash.PlansConsidered, full.PlansConsidered)
+	}
+	if hash.StatesExplored >= full.StatesExplored {
+		t.Fatalf("hash-only explored %d states, full %d", hash.StatesExplored, full.StatesExplored)
+	}
+}
+
+func TestFullPlannerPrefersHashJoins(t *testing.T) {
+	// §4 premise: hashing is fastest with ample memory, so even the full
+	// enumeration should choose hash joins at every step.
+	p, err := Optimize(starQuery(50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.leaf() {
+			return
+		}
+		if n.Algorithm == join.SortMerge {
+			t.Errorf("sort-merge chosen at large memory")
+		}
+		walk(n.Left)
+	}
+	walk(p.Root)
+}
+
+func TestCartesianProductAvoided(t *testing.T) {
+	q := starQuery(100)
+	p, err := Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every join step must connect via an edge: rebuild masks and verify.
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if n.leaf() {
+			return 1 << n.Table
+		}
+		mask := walk(n.Left)
+		if len(connecting(q, mask, n.Right)) == 0 {
+			t.Errorf("cartesian step onto table %d", n.Right)
+		}
+		return mask | 1<<n.Right
+	}
+	walk(p.Root)
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Query{
+		{},
+		{Tables: []Table{{Name: "a", Tuples: 1, TuplesPerPage: 1, Width: 1}}, M: 1},
+		{Tables: []Table{{Name: "a", Tuples: -1, TuplesPerPage: 1, Width: 1}}, M: 10},
+		{Tables: []Table{{Name: "a", Tuples: 1, TuplesPerPage: 1, Width: 1, Selectivity: 2}}, M: 10},
+		{Tables: []Table{{Name: "a", Tuples: 1, TuplesPerPage: 1, Width: 1}},
+			Edges: []Edge{{A: 0, B: 5}}, M: 10},
+	}
+	for i, q := range bad {
+		if _, err := Optimize(q); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCardinalityEstimates(t *testing.T) {
+	q := starQuery(100)
+	p, err := OptimizeHashOnly(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final cardinality: 200000 * 10000/10000 * (10 filtered dimB rows ...)
+	// rough bound: between 1 and |fact|.
+	if p.Root.EstTuples < 1 || p.Root.EstTuples > 200000 {
+		t.Fatalf("estimate %d out of sane range", p.Root.EstTuples)
+	}
+}
+
+func TestSingleTableQuery(t *testing.T) {
+	q := Query{
+		M:      10,
+		Tables: []Table{{Name: "only", Tuples: 100, TuplesPerPage: 10, Width: 40, Selectivity: 1}},
+	}
+	p, err := Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Root.leaf() || p.Weighted != 0 {
+		t.Fatalf("single-table plan: %+v", p.Root)
+	}
+}

@@ -1,0 +1,135 @@
+// Package recovery implements crash recovery for the memory-resident
+// database (§5): reload the latest checkpoint snapshot, merge the log
+// fragments into a single log, redo update records from the recovery start
+// point (the oldest entry of the stable first-update table), and undo the
+// updates of transactions without a durable commit record.
+//
+// Redo is physical (full record post-images) and therefore idempotent;
+// undo by pre-image is safe because the pre-commit protocol guarantees
+// that no durably committed transaction ever read or overwrote data
+// written by a transaction that failed to commit (a dependent's commit
+// group is never written before the group it depends on, §5.2).
+package recovery
+
+import (
+	"fmt"
+
+	"mmdb/internal/store"
+	"mmdb/internal/wal"
+)
+
+// Input is everything that survives a crash.
+type Input struct {
+	// Store geometry.
+	NumRecords     int
+	RecSize        int
+	RecordsPerPage int
+
+	// SnapshotPages is the checkpointed database image on disk.
+	SnapshotPages map[int][]byte
+
+	// Log is the single merged log (see wal.MergeFragments), in LSN order.
+	Log []wal.Record
+
+	// StartLSN is the redo lower bound from the stable first-update table;
+	// HaveStart is false when no page was dirty (snapshot current), in
+	// which case redo still replays from after the snapshot via StartLSN=0
+	// semantics being "replay everything" — safe because redo is
+	// idempotent, just slower; callers pass the checkpointer's value.
+	StartLSN  wal.LSN
+	HaveStart bool
+}
+
+// Info reports what recovery did.
+type Info struct {
+	Committed   map[wal.TxnID]bool // transactions with durable commit records
+	Ended       map[wal.TxnID]bool // transactions whose rollback completed (End record)
+	Losers      map[wal.TxnID]bool // transactions with updates but neither commit nor end
+	Redone      int                // update records re-applied
+	Undone      int                // loser updates rolled back
+	LogScanned  int                // total log records examined
+	SnapshotPgs int                // snapshot pages installed
+}
+
+// resolved reports whether txn needs no undo: it either committed or
+// finished rolling itself back (its compensating updates are replayed by
+// redo).
+func (info Info) resolved(txn wal.TxnID) bool {
+	return info.Committed[txn] || info.Ended[txn]
+}
+
+// Recover rebuilds the database state.
+func Recover(in Input) (*store.Store, Info, error) {
+	info := Info{
+		Committed: make(map[wal.TxnID]bool),
+		Ended:     make(map[wal.TxnID]bool),
+		Losers:    make(map[wal.TxnID]bool),
+	}
+	st, err := store.New(in.NumRecords, in.RecSize, in.RecordsPerPage)
+	if err != nil {
+		return nil, info, err
+	}
+
+	// 1. Reload the snapshot.
+	for p, img := range in.SnapshotPages {
+		if err := st.InstallPage(p, img); err != nil {
+			return nil, info, fmt.Errorf("recovery: snapshot page %d: %w", p, err)
+		}
+		info.SnapshotPgs++
+	}
+
+	// 2. Analysis: find durable commits; everything else that wrote is a
+	// loser.
+	for i := 1; i < len(in.Log); i++ {
+		if in.Log[i].LSN < in.Log[i-1].LSN {
+			return nil, info, fmt.Errorf("recovery: log not LSN-ordered at index %d", i)
+		}
+	}
+	for _, r := range in.Log {
+		info.LogScanned++
+		switch r.Type {
+		case wal.Commit:
+			info.Committed[r.Txn] = true
+		case wal.End:
+			info.Ended[r.Txn] = true
+		}
+	}
+	for _, r := range in.Log {
+		if r.Type == wal.Update && !info.resolved(r.Txn) {
+			info.Losers[r.Txn] = true
+		}
+	}
+
+	// 3. Redo from the start point, in LSN order, winners and losers both
+	// (losers are compensated in step 4).
+	for _, r := range in.Log {
+		if r.Type != wal.Update {
+			continue
+		}
+		if in.HaveStart && r.LSN < in.StartLSN {
+			continue
+		}
+		if err := st.Apply(r.Rec, r.New); err != nil {
+			return nil, info, fmt.Errorf("recovery: redo LSN %d: %w", r.LSN, err)
+		}
+		info.Redone++
+	}
+
+	// 4. Undo losers in reverse LSN order using pre-images. Resolved
+	// transactions (committed, or fully rolled back with compensations on
+	// the log) are skipped.
+	for i := len(in.Log) - 1; i >= 0; i-- {
+		r := in.Log[i]
+		if r.Type != wal.Update || info.resolved(r.Txn) {
+			continue
+		}
+		if r.Old == nil {
+			return nil, info, fmt.Errorf("recovery: loser txn %d update LSN %d has no pre-image (compression must only drop committed old values)", r.Txn, r.LSN)
+		}
+		if err := st.Apply(r.Rec, r.Old); err != nil {
+			return nil, info, fmt.Errorf("recovery: undo LSN %d: %w", r.LSN, err)
+		}
+		info.Undone++
+	}
+	return st, info, nil
+}

@@ -1,0 +1,163 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+
+	"mmdb/internal/wal"
+)
+
+func rec(lsn wal.LSN, txn wal.TxnID, typ wal.RecordType, id uint64, old, new byte) wal.Record {
+	r := wal.Record{LSN: lsn, Txn: txn, Type: typ, Rec: id}
+	if typ == wal.Update {
+		r.Old = []byte{old, 0, 0, 0, 0, 0, 0, 0}
+		r.New = []byte{new, 0, 0, 0, 0, 0, 0, 0}
+	}
+	return r
+}
+
+func input(log []wal.Record) Input {
+	return Input{NumRecords: 16, RecSize: 8, RecordsPerPage: 4, Log: log}
+}
+
+func val(st interface{ Read(uint64) []byte }, id uint64) byte {
+	return st.Read(id)[0]
+}
+
+func TestCommittedUpdatesRedone(t *testing.T) {
+	st, info, err := Recover(input([]wal.Record{
+		rec(1, 1, wal.Begin, 0, 0, 0),
+		rec(2, 1, wal.Update, 3, 0, 7),
+		rec(3, 1, wal.Commit, 0, 0, 0),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Committed[1] || info.Redone != 1 || info.Undone != 0 {
+		t.Fatalf("info %+v", info)
+	}
+	if val(st, 3) != 7 {
+		t.Fatalf("record 3 = %d", val(st, 3))
+	}
+}
+
+func TestLoserUpdatesUndone(t *testing.T) {
+	st, info, err := Recover(input([]wal.Record{
+		rec(1, 1, wal.Begin, 0, 0, 0),
+		rec(2, 1, wal.Update, 3, 0, 7), // no commit
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Losers[1] || info.Undone != 1 {
+		t.Fatalf("info %+v", info)
+	}
+	if val(st, 3) != 0 {
+		t.Fatalf("loser effect survived: %d", val(st, 3))
+	}
+}
+
+func TestMultiUpdateLoserUndoneInReverse(t *testing.T) {
+	st, _, err := Recover(input([]wal.Record{
+		rec(1, 1, wal.Update, 3, 0, 5),
+		rec(2, 1, wal.Update, 3, 5, 9),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val(st, 3) != 0 {
+		t.Fatalf("reverse undo broken: %d", val(st, 3))
+	}
+}
+
+func TestEndedTransactionNotUndone(t *testing.T) {
+	// An aborted transaction with compensations and an End record must be
+	// left alone: its compensations already restore the pre-image.
+	st, info, err := Recover(input([]wal.Record{
+		rec(1, 1, wal.Update, 3, 0, 5),
+		rec(2, 1, wal.Update, 3, 5, 0), // compensation
+		rec(3, 1, wal.End, 0, 0, 0),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Ended[1] || info.Undone != 0 {
+		t.Fatalf("info %+v", info)
+	}
+	if val(st, 3) != 0 {
+		t.Fatalf("record 3 = %d", val(st, 3))
+	}
+}
+
+func TestSnapshotPlusStartLSNSkipsPrefix(t *testing.T) {
+	// Snapshot holds record 3 = 7 (LSN 2 already applied); StartLSN=3
+	// skips redoing it, and a later committed update still lands.
+	snap := map[int][]byte{0: {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0}}
+	in := input([]wal.Record{
+		rec(1, 1, wal.Begin, 0, 0, 0),
+		rec(2, 1, wal.Update, 3, 0, 7),
+		rec(3, 1, wal.Commit, 0, 0, 0),
+		rec(4, 2, wal.Update, 3, 7, 9),
+		rec(5, 2, wal.Commit, 0, 0, 0),
+	})
+	in.SnapshotPages = snap
+	in.StartLSN, in.HaveStart = 4, true
+	st, info, err := Recover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Redone != 1 {
+		t.Fatalf("redone %d, want only the post-snapshot update", info.Redone)
+	}
+	if val(st, 3) != 9 {
+		t.Fatalf("record 3 = %d", val(st, 3))
+	}
+}
+
+func TestRedoIsIdempotent(t *testing.T) {
+	log := []wal.Record{
+		rec(1, 1, wal.Update, 2, 0, 4),
+		rec(2, 1, wal.Update, 2, 4, 6),
+		rec(3, 1, wal.Commit, 0, 0, 0),
+	}
+	once, _, err := Recover(input(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovering from a snapshot that already contains the final state
+	// (replaying everything again) converges to the same answer.
+	in := input(log)
+	in.SnapshotPages = map[int][]byte{0: once.PageImage(0)}
+	twice, _, err := Recover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !once.Equal(twice) {
+		t.Fatal("redo not idempotent")
+	}
+}
+
+func TestCompressedLoserWithoutPreImageFails(t *testing.T) {
+	r := rec(1, 1, wal.Update, 3, 0, 7)
+	r.Old = nil
+	if _, _, err := Recover(input([]wal.Record{r})); err == nil {
+		t.Fatal("loser without pre-image must be an error")
+	}
+}
+
+func TestUnorderedLogRejected(t *testing.T) {
+	if _, _, err := Recover(input([]wal.Record{
+		rec(5, 1, wal.Update, 1, 0, 1),
+		rec(2, 1, wal.Update, 1, 1, 2),
+	})); err == nil {
+		t.Fatal("unordered log accepted")
+	}
+}
+
+func TestSnapshotInstallValidation(t *testing.T) {
+	in := input(nil)
+	in.SnapshotPages = map[int][]byte{99: bytes.Repeat([]byte{1}, 32)}
+	if _, _, err := Recover(in); err == nil {
+		t.Fatal("out-of-range snapshot page accepted")
+	}
+}

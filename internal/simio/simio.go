@@ -1,0 +1,243 @@
+// Package simio provides a simulated page-oriented disk.
+//
+// The disk stores page images in memory and charges every access to a
+// cost.Clock as either a sequential or a random IO operation, following the
+// IOseq/IOrand model of the paper (§3.2). Algorithms that the paper
+// excludes from its cost accounting (the initial read of the base
+// relations, the final write of the join result) use Uncharged access.
+package simio
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mmdb/internal/cost"
+)
+
+// Access classifies a page operation for cost accounting.
+type Access int
+
+// Access kinds.
+const (
+	Seq       Access = iota // charged at IOseq
+	Rand                    // charged at IOrand
+	Uncharged               // not charged (costs common to all algorithms)
+)
+
+func (a Access) String() string {
+	switch a {
+	case Seq:
+		return "seq"
+	case Rand:
+		return "rand"
+	case Uncharged:
+		return "uncharged"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}
+
+// Disk is a collection of named page spaces sharing one virtual clock.
+type Disk struct {
+	mu       sync.Mutex
+	clock    *cost.Clock
+	pageSize int
+	spaces   map[string]*Space
+
+	// Fault injection: when failAfter reaches zero, the next charged IO
+	// returns an error (tests drive operator error paths with this).
+	failAfter int64
+	failArmed bool
+}
+
+// FailAfter arms fault injection: the n-th subsequent charged IO operation
+// (1-based) fails with a synthetic device error. Uncharged accesses are
+// exempt. Pass a negative n to disarm.
+func (d *Disk) FailAfter(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failArmed = n >= 0
+	d.failAfter = n
+}
+
+// tick consumes one charged IO and reports whether it should fail.
+func (d *Disk) tick() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.failArmed {
+		return false
+	}
+	d.failAfter--
+	return d.failAfter < 0
+}
+
+// ErrInjected marks an injected device failure.
+var ErrInjected = fmt.Errorf("simio: injected device failure")
+
+// NewDisk creates a disk with the given page size charging to clock.
+func NewDisk(clock *cost.Clock, pageSize int) *Disk {
+	if pageSize <= 0 {
+		panic("simio: page size must be positive")
+	}
+	return &Disk{
+		clock:    clock,
+		pageSize: pageSize,
+		spaces:   make(map[string]*Space),
+	}
+}
+
+// PageSize returns the disk's page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// Clock returns the clock the disk charges to.
+func (d *Disk) Clock() *cost.Clock { return d.clock }
+
+// Create makes a new empty space. It fails if the name is taken.
+func (d *Disk) Create(name string) (*Space, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.spaces[name]; ok {
+		return nil, fmt.Errorf("simio: space %q already exists", name)
+	}
+	s := &Space{name: name, disk: d}
+	d.spaces[name] = s
+	return s, nil
+}
+
+// MustCreate is Create that panics on error.
+func (d *Disk) MustCreate(name string) *Space {
+	s, err := d.Create(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open returns an existing space.
+func (d *Disk) Open(name string) (*Space, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.spaces[name]
+	if !ok {
+		return nil, fmt.Errorf("simio: space %q does not exist", name)
+	}
+	return s, nil
+}
+
+// Remove deletes a space and releases its pages.
+func (d *Disk) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.spaces, name)
+}
+
+// Spaces returns the names of all spaces in sorted order.
+func (d *Disk) Spaces() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.spaces))
+	for n := range d.spaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Space is a file of fixed-size pages.
+type Space struct {
+	mu    sync.Mutex
+	name  string
+	disk  *Disk
+	pages [][]byte
+}
+
+// Name returns the space name.
+func (s *Space) Name() string { return s.name }
+
+// NumPages returns the number of pages in the space.
+func (s *Space) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// Append writes data as a new page at the end of the space and returns its
+// page number. The data is copied; short data is zero padded.
+func (s *Space) Append(data []byte, a Access) (int, error) {
+	if len(data) > s.disk.pageSize {
+		return 0, fmt.Errorf("simio: page data %d bytes exceeds page size %d", len(data), s.disk.pageSize)
+	}
+	if err := s.charge(a); err != nil {
+		return 0, err
+	}
+	p := make([]byte, s.disk.pageSize)
+	copy(p, data)
+	s.mu.Lock()
+	s.pages = append(s.pages, p)
+	n := len(s.pages) - 1
+	s.mu.Unlock()
+	return n, nil
+}
+
+// Write overwrites page n in place.
+func (s *Space) Write(n int, data []byte, a Access) error {
+	if len(data) > s.disk.pageSize {
+		return fmt.Errorf("simio: page data %d bytes exceeds page size %d", len(data), s.disk.pageSize)
+	}
+	if err := s.charge(a); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if n < 0 || n >= len(s.pages) {
+		s.mu.Unlock()
+		return fmt.Errorf("simio: write to page %d of %q (have %d pages)", n, s.name, len(s.pages))
+	}
+	p := s.pages[n]
+	copy(p, data)
+	for i := len(data); i < len(p); i++ {
+		p[i] = 0
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Read returns a copy of page n.
+func (s *Space) Read(n int, a Access) ([]byte, error) {
+	if err := s.charge(a); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if n < 0 || n >= len(s.pages) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("simio: read of page %d of %q (have %d pages)", n, s.name, len(s.pages))
+	}
+	out := append([]byte(nil), s.pages[n]...)
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Truncate drops all pages, leaving an empty space.
+func (s *Space) Truncate() {
+	s.mu.Lock()
+	s.pages = nil
+	s.mu.Unlock()
+}
+
+func (s *Space) charge(a Access) error {
+	switch a {
+	case Seq, Rand:
+		if s.disk.tick() {
+			return fmt.Errorf("simio: %s IO on %q: %w", a, s.name, ErrInjected)
+		}
+		if a == Seq {
+			s.disk.clock.SeqIOs(1)
+		} else {
+			s.disk.clock.RandIOs(1)
+		}
+	case Uncharged:
+	default:
+		panic(fmt.Sprintf("simio: invalid access kind %d", int(a)))
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package store implements the memory-resident database of §5: an array of
+// fixed-size records grouped into pages, with the stable-memory dirty-page
+// table of §5.5 (which pages changed since their last checkpoint, and the
+// LSN of the first such change — the table that determines where recovery
+// must start reading the log).
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"mmdb/internal/wal"
+)
+
+// Store is the in-memory database. Not safe for concurrent use.
+type Store struct {
+	recSize        int
+	recordsPerPage int
+	data           []byte // records packed in record-id order
+
+	// dirty maps page id -> LSN of the first update since the page was
+	// last checkpointed (§5.5's stable-memory table).
+	dirty map[int]wal.LSN
+	// lastLSN maps page id -> LSN of the latest update, used to honor the
+	// WAL rule when checkpointing.
+	lastLSN map[int]wal.LSN
+}
+
+// New creates a zero-filled store.
+func New(numRecords, recSize, recordsPerPage int) (*Store, error) {
+	if numRecords < 1 || recSize < 1 || recordsPerPage < 1 {
+		return nil, fmt.Errorf("store: invalid geometry (%d records x %d bytes, %d per page)",
+			numRecords, recSize, recordsPerPage)
+	}
+	return &Store{
+		recSize:        recSize,
+		recordsPerPage: recordsPerPage,
+		data:           make([]byte, numRecords*recSize),
+		dirty:          make(map[int]wal.LSN),
+		lastLSN:        make(map[int]wal.LSN),
+	}, nil
+}
+
+// NumRecords returns the record count.
+func (s *Store) NumRecords() int { return len(s.data) / s.recSize }
+
+// RecordSize returns the fixed record size in bytes.
+func (s *Store) RecordSize() int { return s.recSize }
+
+// RecordsPerPage returns the page grouping factor.
+func (s *Store) RecordsPerPage() int { return s.recordsPerPage }
+
+// NumPages returns the number of data pages.
+func (s *Store) NumPages() int {
+	return (s.NumRecords() + s.recordsPerPage - 1) / s.recordsPerPage
+}
+
+// PageOf returns the page holding record rec.
+func (s *Store) PageOf(rec uint64) int { return int(rec) / s.recordsPerPage }
+
+// Read returns a copy of record rec.
+func (s *Store) Read(rec uint64) []byte {
+	off := int(rec) * s.recSize
+	return append([]byte(nil), s.data[off:off+s.recSize]...)
+}
+
+// Write replaces record rec with val, recording lsn in the dirty-page
+// table. val must be exactly RecordSize bytes.
+func (s *Store) Write(rec uint64, val []byte, lsn wal.LSN) error {
+	if len(val) != s.recSize {
+		return fmt.Errorf("store: record %d: value %d bytes, want %d", rec, len(val), s.recSize)
+	}
+	off := int(rec) * s.recSize
+	if off+s.recSize > len(s.data) {
+		return fmt.Errorf("store: record %d out of range", rec)
+	}
+	copy(s.data[off:], val)
+	p := s.PageOf(rec)
+	if _, ok := s.dirty[p]; !ok {
+		s.dirty[p] = lsn
+	}
+	if lsn > s.lastLSN[p] {
+		s.lastLSN[p] = lsn
+	}
+	return nil
+}
+
+// Apply is Write without dirty tracking, used by recovery redo/undo.
+func (s *Store) Apply(rec uint64, val []byte) error {
+	if len(val) != s.recSize {
+		return fmt.Errorf("store: record %d: value %d bytes, want %d", rec, len(val), s.recSize)
+	}
+	off := int(rec) * s.recSize
+	if off+s.recSize > len(s.data) {
+		return fmt.Errorf("store: record %d out of range", rec)
+	}
+	copy(s.data[off:], val)
+	return nil
+}
+
+// DirtyPages returns the dirty page ids in ascending order.
+func (s *Store) DirtyPages() []int {
+	out := make([]int, 0, len(s.dirty))
+	for p := range s.dirty {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FirstUpdateLSN returns the first-update LSN of page p since its last
+// checkpoint, and whether the page is dirty.
+func (s *Store) FirstUpdateLSN(p int) (wal.LSN, bool) {
+	lsn, ok := s.dirty[p]
+	return lsn, ok
+}
+
+// LastUpdateLSN returns the LSN of the newest update on page p (0 if the
+// page was never written).
+func (s *Store) LastUpdateLSN(p int) wal.LSN { return s.lastLSN[p] }
+
+// RecoveryStartLSN returns the oldest first-update LSN across all dirty
+// pages: "the oldest entry in the table determines the point in the log
+// from which recovery should commence" (§5.5). It returns 0 when nothing
+// is dirty, meaning the snapshot is current and only the log tail after
+// the newest checkpoint matters; callers treat 0 as "no redo lower bound".
+func (s *Store) RecoveryStartLSN() (wal.LSN, bool) {
+	var min wal.LSN
+	found := false
+	for _, lsn := range s.dirty {
+		if !found || lsn < min {
+			min, found = lsn, true
+		}
+	}
+	return min, found
+}
+
+// PageImage returns a copy of page p's bytes (short final page allowed).
+func (s *Store) PageImage(p int) []byte {
+	start := p * s.recordsPerPage * s.recSize
+	end := start + s.recordsPerPage*s.recSize
+	if end > len(s.data) {
+		end = len(s.data)
+	}
+	if start >= end {
+		return nil
+	}
+	return append([]byte(nil), s.data[start:end]...)
+}
+
+// InstallPage overwrites page p from a checkpoint image (recovery load).
+func (s *Store) InstallPage(p int, img []byte) error {
+	start := p * s.recordsPerPage * s.recSize
+	if start >= len(s.data) {
+		return fmt.Errorf("store: page %d out of range", p)
+	}
+	end := start + len(img)
+	if end > len(s.data) {
+		return fmt.Errorf("store: page %d image of %d bytes overflows store", p, len(img))
+	}
+	copy(s.data[start:end], img)
+	return nil
+}
+
+// Checkpointed clears page p's dirty entry: its current image has reached
+// stable storage ("when a page is checkpointed to disk, its update status
+// is reset", §5.5).
+func (s *Store) Checkpointed(p int) {
+	delete(s.dirty, p)
+}
+
+// Equal reports whether two stores hold identical data.
+func (s *Store) Equal(o *Store) bool {
+	if len(s.data) != len(o.data) || s.recSize != o.recSize {
+		return false
+	}
+	for i := range s.data {
+		if s.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"mmdb/internal/wal"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(100, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGeometry(t *testing.T) {
+	s := newStore(t)
+	if s.NumRecords() != 100 || s.RecordSize() != 8 || s.NumPages() != 10 {
+		t.Fatalf("geometry %d/%d/%d", s.NumRecords(), s.RecordSize(), s.NumPages())
+	}
+	if s.PageOf(37) != 3 {
+		t.Fatalf("PageOf(37) = %d", s.PageOf(37))
+	}
+	if _, err := New(0, 8, 10); err == nil {
+		t.Fatal("zero records accepted")
+	}
+}
+
+func TestWriteReadAndDirtyTracking(t *testing.T) {
+	s := newStore(t)
+	val := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := s.Write(15, val, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(15); !bytes.Equal(got, val) {
+		t.Fatalf("read %v", got)
+	}
+	if got := s.Read(16); !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatal("untouched record not zero")
+	}
+	// First-update LSN sticks; last-update advances.
+	s.Write(16, val, 120)
+	first, ok := s.FirstUpdateLSN(1)
+	if !ok || first != 100 {
+		t.Fatalf("first-update = %d/%v", first, ok)
+	}
+	if s.LastUpdateLSN(1) != 120 {
+		t.Fatalf("last-update = %d", s.LastUpdateLSN(1))
+	}
+	if d := s.DirtyPages(); len(d) != 1 || d[0] != 1 {
+		t.Fatalf("dirty = %v", d)
+	}
+	min, ok := s.RecoveryStartLSN()
+	if !ok || min != 100 {
+		t.Fatalf("recovery start %d/%v", min, ok)
+	}
+	s.Checkpointed(1)
+	if _, ok := s.RecoveryStartLSN(); ok {
+		t.Fatal("dirty after checkpoint")
+	}
+	// Re-dirtying starts a fresh first-update entry.
+	s.Write(15, val, 300)
+	first, _ = s.FirstUpdateLSN(1)
+	if first != 300 {
+		t.Fatalf("fresh entry = %d", first)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	s := newStore(t)
+	if err := s.Write(5, []byte{1}, 1); err == nil {
+		t.Fatal("short value accepted")
+	}
+	if err := s.Write(1000, make([]byte, 8), 1); err == nil {
+		t.Fatal("out-of-range record accepted")
+	}
+	if err := s.Apply(1000, make([]byte, 8)); err == nil {
+		t.Fatal("out-of-range apply accepted")
+	}
+}
+
+func TestApplyDoesNotDirty(t *testing.T) {
+	s := newStore(t)
+	if err := s.Apply(5, []byte{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.DirtyPages()) != 0 {
+		t.Fatal("Apply marked a page dirty")
+	}
+}
+
+func TestPageImageInstallRoundTrip(t *testing.T) {
+	s := newStore(t)
+	for i := uint64(20); i < 30; i++ {
+		s.Write(i, []byte{byte(i), 0, 0, 0, 0, 0, 0, 0}, wal.LSN(i))
+	}
+	img := s.PageImage(2)
+	if len(img) != 80 {
+		t.Fatalf("image %d bytes", len(img))
+	}
+	other := newStore(t)
+	if err := other.InstallPage(2, img); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(20); i < 30; i++ {
+		if !bytes.Equal(other.Read(i), s.Read(i)) {
+			t.Fatalf("record %d differs after install", i)
+		}
+	}
+	if err := other.InstallPage(99, img); err == nil {
+		t.Fatal("out-of-range install accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := newStore(t), newStore(t)
+	if !a.Equal(b) {
+		t.Fatal("fresh stores differ")
+	}
+	a.Write(1, []byte{1, 0, 0, 0, 0, 0, 0, 0}, 1)
+	if a.Equal(b) {
+		t.Fatal("modified stores equal")
+	}
+}
+
+func TestShortFinalPage(t *testing.T) {
+	s, err := New(15, 8, 10) // second page holds only 5 records
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPages() != 2 {
+		t.Fatalf("pages = %d", s.NumPages())
+	}
+	img := s.PageImage(1)
+	if len(img) != 5*8 {
+		t.Fatalf("short page image %d bytes", len(img))
+	}
+	if err := s.InstallPage(1, img); err != nil {
+		t.Fatal(err)
+	}
+}

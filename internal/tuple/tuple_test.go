@@ -1,0 +1,196 @@
+package tuple
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Field{Name: "id", Kind: Int64},
+		Field{Name: "weight", Kind: Float64},
+		Field{Name: "name", Kind: String, Size: 12},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaGeometry(t *testing.T) {
+	s := testSchema(t)
+	if s.Width() != 8+8+12 {
+		t.Fatalf("width = %d", s.Width())
+	}
+	if s.NumFields() != 3 {
+		t.Fatalf("fields = %d", s.NumFields())
+	}
+	if s.Offset(0) != 0 || s.Offset(1) != 8 || s.Offset(2) != 16 {
+		t.Fatalf("offsets = %d %d %d", s.Offset(0), s.Offset(1), s.Offset(2))
+	}
+	if s.FieldIndex("weight") != 1 || s.FieldIndex("nope") != -1 {
+		t.Fatal("FieldIndex broken")
+	}
+	want := "(id int64, weight float64, name string(12))"
+	if s.String() != want {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cases := [][]Field{
+		{},
+		{{Name: "", Kind: Int64}},
+		{{Name: "a", Kind: Int64}, {Name: "a", Kind: Int64}},
+		{{Name: "s", Kind: String}},           // missing size
+		{{Name: "s", Kind: String, Size: -1}}, // bad size
+		{{Name: "x", Kind: Kind(99)}},         // bad kind
+	}
+	for i, fs := range cases {
+		if _, err := NewSchema(fs...); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	f := func(id int64, w float64, name string) bool {
+		if len(name) > 12 {
+			name = name[:12]
+		}
+		// NUL bytes truncate on decode by design (fixed-width padding).
+		clean := make([]byte, 0, len(name))
+		for _, b := range []byte(name) {
+			if b == 0 {
+				break
+			}
+			clean = append(clean, b)
+		}
+		name = string(clean)
+		tup, err := s.Encode(IntValue(id), FloatValue(w), StringValue(name))
+		if err != nil {
+			return false
+		}
+		vs := s.Decode(tup)
+		return vs[0].I == id && vs[1].F == w && vs[2].S == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64EncodingIsOrderPreserving(t *testing.T) {
+	s := MustSchema(Field{Name: "k", Kind: Int64})
+	f := func(a, b int64) bool {
+		ta := s.MustEncode(IntValue(a))
+		tb := s.MustEncode(IntValue(b))
+		cmp := bytes.Compare(s.KeyBytes(ta, 0), s.KeyBytes(tb, 0))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	if Compare(IntValue(1), IntValue(2)) >= 0 {
+		t.Error("1 < 2")
+	}
+	if Compare(FloatValue(2.5), FloatValue(2.5)) != 0 {
+		t.Error("2.5 == 2.5")
+	}
+	if Compare(StringValue("b"), StringValue("a")) <= 0 {
+		t.Error("b > a")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("comparing mixed kinds should panic")
+		}
+	}()
+	Compare(IntValue(1), StringValue("x"))
+}
+
+func TestSetRejectsWrongKindAndOversizedString(t *testing.T) {
+	s := testSchema(t)
+	tup := make(Tuple, s.Width())
+	if err := s.Set(tup, 0, StringValue("x")); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := s.Set(tup, 2, StringValue("this is way beyond twelve")); err == nil {
+		t.Error("oversized string accepted")
+	}
+}
+
+func TestEncodeArityMismatch(t *testing.T) {
+	s := testSchema(t)
+	if _, err := s.Encode(IntValue(1)); err == nil {
+		t.Error("short value list accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := testSchema(t)
+	p, proj, err := s.Project([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "(name string(12), id int64)" {
+		t.Fatalf("projected schema %v", p)
+	}
+	tup := s.MustEncode(IntValue(7), FloatValue(1.5), StringValue("bob"))
+	out := proj(tup)
+	if p.Get(out, 0).S != "bob" || p.Get(out, 1).I != 7 {
+		t.Fatalf("projection produced %s", p.Format(out))
+	}
+	if _, _, err := s.Project([]int{9}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustSchema(Field{Name: "k", Kind: Int64})
+	b := MustSchema(Field{Name: "k", Kind: Int64}, Field{Name: "v", Kind: String, Size: 4})
+	out, comb, err := Concat(a, b, "a.", "b.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := a.MustEncode(IntValue(1))
+	tb := b.MustEncode(IntValue(2), StringValue("xy"))
+	j := comb(ta, tb)
+	if out.Get(j, 0).I != 1 || out.Get(j, 1).I != 2 || out.Get(j, 2).S != "xy" {
+		t.Fatalf("concat produced %s", out.Format(j))
+	}
+	if out.FieldIndex("a.k") != 0 || out.FieldIndex("b.v") != 2 {
+		t.Fatal("concat field naming broken")
+	}
+}
+
+func TestCompareFieldMatchesDecodedOrder(t *testing.T) {
+	s := testSchema(t)
+	a := s.MustEncode(IntValue(-5), FloatValue(0), StringValue("aa"))
+	b := s.MustEncode(IntValue(3), FloatValue(0), StringValue("aa"))
+	if s.CompareField(a, b, 0) >= 0 {
+		t.Error("-5 should order below 3 byte-wise")
+	}
+	if s.CompareField(a, b, 2) != 0 {
+		t.Error("equal strings should compare equal")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := testSchema(t)
+	tup := s.MustEncode(IntValue(7), FloatValue(1.5), StringValue("bob"))
+	if got := s.Format(tup); got != "[7 1.5 bob]" {
+		t.Fatalf("Format = %q", got)
+	}
+}

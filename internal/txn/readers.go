@@ -1,0 +1,212 @@
+package txn
+
+import (
+	"encoding/binary"
+
+	"mmdb/internal/lock"
+	"mmdb/internal/wal"
+)
+
+// This file implements the read-only transaction path used to test the
+// paper's §6 conjecture: "While locking is generally accepted to [be] the
+// algorithm of choice for disk resident databases, a versioning mechanism
+// [REED83] may provide superior performance for memory resident systems."
+//
+// Two regimes, selected by Config.Versioning:
+//
+//   - Locking: the reader takes shared locks as it scans, holding them to
+//     the end (strict 2PL). Long scans over hot records stall the
+//     updaters' exclusive locks.
+//   - Versioning: the reader fixes a snapshot LSN at start and
+//     reconstructs each record's committed value at that snapshot from the
+//     per-record version chain — no locks, no interference with writers.
+//
+// Either way the reader is only acknowledged once every transaction whose
+// (pre-committed) data it observed is durably committed, the same user-
+// visible rule the paper applies to dependent update transactions.
+
+// readerState tracks one in-flight read-only transaction.
+type readerState struct {
+	id       wal.TxnID
+	terminal int
+	accounts []uint64
+	step     int
+	sum      int64
+	deps     map[wal.TxnID]struct{}
+	snapshot wal.LSN // versioning only
+}
+
+// pushVersion records a pre-image on the record's version chain and prunes
+// entries no reader can need (older than the oldest active snapshot).
+func (e *Engine) pushVersion(rec uint64, lsn wal.LSN, txn wal.TxnID, old []byte) {
+	if !e.cfg.Versioning {
+		return
+	}
+	chain := append(e.versions[rec], version{lsn: lsn, txn: txn, old: append([]byte(nil), old...)})
+	if min, ok := e.oldestSnapshot(); ok {
+		// Keep the newest entry at or below the horizon so min-snapshot
+		// readers can still reconstruct; drop everything older.
+		cut := 0
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].lsn <= min {
+				cut = i
+				break
+			}
+		}
+		chain = append([]version(nil), chain[cut:]...)
+	} else if len(chain) > 64 {
+		chain = append([]version(nil), chain[len(chain)-64:]...)
+	}
+	e.versions[rec] = chain
+}
+
+// oldestSnapshot returns the smallest snapshot LSN among active readers.
+func (e *Engine) oldestSnapshot() (wal.LSN, bool) {
+	var min wal.LSN
+	found := false
+	for _, s := range e.readers {
+		if !found || s.snapshot < min {
+			min, found = s.snapshot, true
+		}
+	}
+	return min, found
+}
+
+// snapshotRead reconstructs rec's committed value as of snapshot s by
+// undoing, newest first, every version whose writer had not committed by
+// s (including writers that never committed: their compensations undo in
+// pairs). It reports the newest visible version's writer so the caller
+// can register a durable-commit dependency.
+func (e *Engine) snapshotRead(rec uint64, s wal.LSN) (val []byte, visibleWriter wal.TxnID) {
+	cur := e.st.Read(rec)
+	chain := e.versions[rec]
+	for i := len(chain) - 1; i >= 0; i-- {
+		v := chain[i]
+		if cl, ok := e.commitLSN[v.txn]; ok && cl <= s {
+			return cur, v.txn
+		}
+		cur = append(cur[:0], v.old...)
+	}
+	return cur, 0
+}
+
+// startReader launches one read-only transaction on a reader terminal.
+func (e *Engine) startReader(terminal int) {
+	if e.stopped {
+		return
+	}
+	e.nextTxn++
+	r := &readerState{
+		id:       e.nextTxn,
+		terminal: terminal,
+		deps:     make(map[wal.TxnID]struct{}),
+	}
+	domain := e.cfg.Accounts
+	if e.cfg.HotAccounts > 0 && e.cfg.HotAccounts < domain {
+		domain = e.cfg.HotAccounts
+	}
+	n := e.cfg.ReadAccounts
+	if n > domain {
+		n = domain
+	}
+	seen := make(map[uint64]bool, n)
+	for len(r.accounts) < n {
+		a := uint64(e.rng.Intn(domain))
+		if !seen[a] {
+			seen[a] = true
+			r.accounts = append(r.accounts, a)
+		}
+	}
+	sortAccounts(r.accounts)
+	if e.cfg.Versioning {
+		r.snapshot = e.log.CurrentLSN()
+	}
+	if e.readers == nil {
+		e.readers = make(map[wal.TxnID]*readerState)
+	}
+	e.readers[r.id] = r
+	e.readStep(r)
+}
+
+// readStep performs one record read, then schedules the next after the
+// configured per-read CPU time.
+func (e *Engine) readStep(r *readerState) {
+	if r.step >= len(r.accounts) {
+		e.finishReader(r)
+		return
+	}
+	acct := r.accounts[r.step]
+	consume := func(val []byte, visibleWriter wal.TxnID) {
+		r.sum += int64(binary.BigEndian.Uint64(val[:8]))
+		if visibleWriter != 0 {
+			if _, durable := e.acked[visibleWriter]; !durable {
+				if _, active := e.states[visibleWriter]; active {
+					r.deps[visibleWriter] = struct{}{}
+				}
+			}
+		}
+		r.step++
+		e.sim.After(e.cfg.ReadCPU, func() { e.readStep(r) })
+	}
+	if e.cfg.Versioning {
+		consume(e.snapshotRead(acct, r.snapshot))
+		return
+	}
+	e.locks.Acquire(r.id, acct, lock.Shared, func(deps []wal.TxnID) {
+		for _, d := range deps {
+			if _, durable := e.acked[d]; !durable {
+				r.deps[d] = struct{}{}
+			}
+		}
+		consume(e.st.Read(acct), 0)
+	})
+}
+
+// finishReader releases locks (locking mode) and acknowledges the reader
+// once every pre-committed transaction it observed is durable.
+func (e *Engine) finishReader(r *readerState) {
+	if !e.cfg.Versioning {
+		e.locks.ReleaseAll(r.id)
+	}
+	delete(e.readers, r.id)
+	e.verifyReaderSum(r)
+
+	outstanding := 0
+	done := func() {
+		outstanding--
+		if outstanding == 0 {
+			e.ackReader(r)
+		}
+	}
+	for d := range r.deps {
+		if _, durable := e.acked[d]; durable {
+			continue
+		}
+		if _, active := e.states[d]; !active {
+			continue // aborted or already gone
+		}
+		outstanding++
+		e.depWaiters[d] = append(e.depWaiters[d], done)
+	}
+	if outstanding == 0 {
+		e.ackReader(r)
+	}
+}
+
+func (e *Engine) ackReader(r *readerState) {
+	e.stats.ReadTxns++
+	term := r.terminal
+	e.sim.After(0, func() { e.startReader(term) })
+}
+
+// verifyReaderSum checks snapshot consistency for full-domain scans: the
+// workload's transfers are zero-sum, so any transaction-consistent view of
+// ALL accounts sums to zero. Partial scans can't be checked this way.
+func (e *Engine) verifyReaderSum(r *readerState) {
+	if !e.cfg.Versioning || len(r.accounts) != e.cfg.Accounts {
+		return
+	}
+	if r.sum != 0 {
+		panic("txn: versioned snapshot read saw a non-transaction-consistent state")
+	}
+}

@@ -1,0 +1,31 @@
+package wal
+
+import "testing"
+
+func BenchmarkRecordEncodeDecode(b *testing.B) {
+	r := Record{LSN: 7, Txn: 9, Type: Update, Rec: 3, Old: make([]byte, 46), New: make([]byte, 46)}
+	buf, _ := r.AppendTo(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := r.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := DecodeRecord(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageEncode(b *testing.B) {
+	var records []Record
+	for i := 0; i < 30; i++ {
+		records = append(records, Record{LSN: LSN(i), Txn: 1, Type: Update, Old: make([]byte, 46), New: make([]byte, 46)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodePage(records, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

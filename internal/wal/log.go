@@ -1,0 +1,572 @@
+package wal
+
+import (
+	"fmt"
+	"time"
+
+	"mmdb/internal/event"
+)
+
+// CommitPolicy selects when a transaction's commit becomes durable (§5.2,
+// §5.4).
+type CommitPolicy int
+
+// Commit policies.
+const (
+	// FlushPerCommit writes a log page for every commit: the conventional
+	// scheme the paper bounds at ~100 tps on one 10 ms device.
+	FlushPerCommit CommitPolicy = iota
+	// GroupCommit releases locks at pre-commit and batches the commit
+	// records that share a log page into one write (§5.2).
+	GroupCommit
+	// StableMemory commits as soon as the commit record reaches the
+	// battery-backed log buffer; pages drain to disk in the background
+	// (§5.4), optionally compressed to new-values-only.
+	StableMemory
+)
+
+func (p CommitPolicy) String() string {
+	switch p {
+	case FlushPerCommit:
+		return "flush-per-commit"
+	case GroupCommit:
+		return "group-commit"
+	case StableMemory:
+		return "stable-memory"
+	default:
+		return fmt.Sprintf("CommitPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Log.
+type Config struct {
+	PageSize int // log page size in bytes (the paper's 4096)
+	Policy   CommitPolicy
+	// Devices are the log disks. With more than one, the log is
+	// partitioned by transaction: all records of a transaction go to one
+	// fragment, and cross-fragment commit ordering is enforced by the
+	// topological ordering of commit groups (§5.2).
+	Devices []*Device
+	// Compress drops old values of already-committed transactions when a
+	// stable-memory page drains to disk (§5.4 log compression). Only
+	// meaningful with StableMemory.
+	Compress bool
+	// StableCapacity bounds the battery-backed region in bytes; appends
+	// beyond it are refused until the drain catches up. 0 means 8 pages.
+	StableCapacity int
+	// GroupTimeout optionally force-flushes a commit group after this
+	// delay. Group commit already seals as soon as the fragment's device
+	// is idle (so liveness never depends on this timer); the timeout only
+	// tightens latency further at the cost of smaller groups.
+	GroupTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.StableCapacity == 0 {
+		c.StableCapacity = 8 * c.PageSize
+	}
+	return c
+}
+
+// Stats reports log activity.
+type Stats struct {
+	Records      int64
+	PagesWritten int64 // pages issued to devices
+	BytesLogged  int64 // record bytes appended
+	BytesToDisk  int64 // record bytes actually written to devices (after compression)
+	Commits      int64 // durable commits delivered
+	Groups       int64 // commit groups flushed with at least one commit record
+	GroupSizeSum int64 // total commit records across groups (for mean group size)
+	Truncated    int64 // records reclaimed by log truncation
+}
+
+// MeanGroupSize returns the average commits per flushed group.
+func (s Stats) MeanGroupSize() float64 {
+	if s.Groups == 0 {
+		return 0
+	}
+	return float64(s.GroupSizeSum) / float64(s.Groups)
+}
+
+// pendingPage is a sealed commit group on its way to disk.
+type pendingPage struct {
+	seq     uint64
+	records []Record
+	commits []TxnID
+	deps    []*pendingPage
+	done    time.Duration
+	durable bool
+}
+
+// fragment is one log partition: its device plus the open buffer page.
+type fragment struct {
+	dev        *Device
+	cur        []Record
+	curBytes   int
+	curCommits []TxnID
+	curDeps    map[*pendingPage]struct{}
+	timerSeq   uint64 // guards the group timeout against later seals
+	sealArmed  bool   // a device-idle seal event is scheduled
+}
+
+// Log is the log manager. All methods must be called from the simulator's
+// event goroutine.
+type Log struct {
+	sim *event.Sim
+	cfg Config
+
+	nextLSN LSN
+	pageSeq uint64
+	frags   []*fragment
+
+	// txnGroup maps a pre-committed (not yet durable) transaction to its
+	// sealed commit group.
+	txnGroup map[TxnID]*pendingPage
+	// inBuffer maps a transaction whose commit record sits in a still-open
+	// buffer to that fragment.
+	inBuffer map[TxnID]*fragment
+	// txnPages maps a transaction to the sealed, not yet durable pages
+	// carrying its records; its commit group depends on them (WAL).
+	txnPages map[TxnID][]*pendingPage
+
+	// Stable-memory region (StableMemory policy).
+	stable          []Record
+	stableBytes     int
+	stableCommitted map[TxnID]bool
+	draining        bool
+	nextDrainDev    int
+
+	pages        []*pendingPage
+	firstPending int // index into pages: everything before it is durable
+	truncateLSN  LSN // records below this are reclaimed (log truncation)
+	onCommit     func(TxnID)
+	onDrain      func()
+	stats        Stats
+}
+
+// NewLog creates a log manager on the simulator.
+func NewLog(sim *event.Sim, cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("wal: need at least one log device")
+	}
+	if cfg.PageSize <= pageHeader+recordHeader {
+		return nil, fmt.Errorf("wal: page size %d too small", cfg.PageSize)
+	}
+	if cfg.Compress && cfg.Policy != StableMemory {
+		return nil, fmt.Errorf("wal: log compression requires the stable-memory policy")
+	}
+	l := &Log{
+		sim:             sim,
+		cfg:             cfg,
+		txnGroup:        make(map[TxnID]*pendingPage),
+		inBuffer:        make(map[TxnID]*fragment),
+		txnPages:        make(map[TxnID][]*pendingPage),
+		stableCommitted: make(map[TxnID]bool),
+	}
+	for _, d := range cfg.Devices {
+		l.frags = append(l.frags, &fragment{dev: d, curDeps: make(map[*pendingPage]struct{})})
+	}
+	return l, nil
+}
+
+// Config returns the effective configuration.
+func (l *Log) Config() Config { return l.cfg }
+
+// Stats returns a snapshot of log statistics.
+func (l *Log) Stats() Stats { return l.stats }
+
+// SetOnCommit installs the durable-commit callback.
+func (l *Log) SetOnCommit(fn func(TxnID)) { l.onCommit = fn }
+
+// SetOnDrain installs a callback fired when stable-memory space frees up.
+func (l *Log) SetOnDrain(fn func()) { l.onDrain = fn }
+
+// payloadCapacity is the record bytes one page holds.
+func (l *Log) payloadCapacity() int { return l.cfg.PageSize - pageHeader }
+
+// fragFor routes a transaction to its log partition.
+func (l *Log) fragFor(txn TxnID) *fragment {
+	return l.frags[int(uint64(txn)%uint64(len(l.frags)))]
+}
+
+// Append adds a non-commit record to the log. It reports false when the
+// stable-memory region is full (backpressure); volatile buffering always
+// succeeds.
+func (l *Log) Append(r Record) (LSN, bool) {
+	r.LSN = l.assignLSN()
+	if l.cfg.Policy == StableMemory {
+		if !l.stableAppend(r) {
+			l.nextLSN-- // the record was not accepted; reuse the LSN
+			return 0, false
+		}
+		return r.LSN, true
+	}
+	l.bufferAppend(l.fragFor(r.Txn), r)
+	return r.LSN, true
+}
+
+// AppendCommit adds txn's commit record. deps lists the pre-committed
+// transactions txn read from (its dependency list, §5.2): txn's commit
+// group will not be written before theirs. It reports false on
+// stable-memory backpressure.
+func (l *Log) AppendCommit(txn TxnID, deps []TxnID) bool {
+	r := Record{Txn: txn, Type: Commit, LSN: l.assignLSN()}
+	if l.cfg.Policy == StableMemory {
+		if !l.stableAppend(r) {
+			l.nextLSN--
+			return false
+		}
+		l.stableCommitted[txn] = true
+		l.deliverCommit(txn)
+		return true
+	}
+	f := l.fragFor(txn)
+	for _, dep := range deps {
+		if df, open := l.inBuffer[dep]; open {
+			if df == f {
+				continue // same open group: ordering is automatic
+			}
+			// The dependency's commit group is still open on another
+			// fragment; seal it so ours can be ordered after it.
+			l.seal(df)
+		}
+		if g, ok := l.txnGroup[dep]; ok && g != nil && !g.durable {
+			f.curDeps[g] = struct{}{}
+		}
+	}
+	l.bufferAppend(f, r)
+	f.curCommits = append(f.curCommits, txn)
+	l.inBuffer[txn] = f
+
+	switch l.cfg.Policy {
+	case FlushPerCommit:
+		l.seal(f)
+	case GroupCommit:
+		// Classic group commit: the group rides until either the page
+		// fills (bufferAppend seals) or the device falls idle — batching
+		// while the device is busy costs the waiting commits nothing.
+		l.armIdleSeal(f)
+		if l.cfg.GroupTimeout > 0 && len(f.curCommits) == 1 {
+			seq := f.timerSeq
+			l.sim.After(l.cfg.GroupTimeout, func() {
+				if f.timerSeq == seq { // the group was not sealed meanwhile
+					l.seal(f)
+				}
+			})
+		}
+	}
+	return true
+}
+
+// armIdleSeal schedules a seal for the moment the fragment's device drains
+// its queue (immediately if it is idle now).
+func (l *Log) armIdleSeal(f *fragment) {
+	if f.sealArmed {
+		return
+	}
+	f.sealArmed = true
+	l.sim.At(f.dev.BusyUntil(), func() {
+		f.sealArmed = false
+		if len(f.curCommits) > 0 {
+			l.seal(f)
+		}
+	})
+}
+
+// Flush seals and writes all buffered records (end of experiment, or an
+// explicit checkpoint boundary).
+func (l *Log) Flush() {
+	if l.cfg.Policy == StableMemory {
+		l.startDrain()
+		return
+	}
+	for _, f := range l.frags {
+		l.seal(f)
+	}
+}
+
+func (l *Log) assignLSN() LSN {
+	l.nextLSN++
+	return l.nextLSN
+}
+
+// CurrentLSN returns the most recently assigned LSN.
+func (l *Log) CurrentLSN() LSN { return l.nextLSN }
+
+func (l *Log) bufferAppend(f *fragment, r Record) {
+	if r.EncodedSize() > l.payloadCapacity() {
+		panic(fmt.Sprintf("wal: record of %d bytes exceeds page payload %d", r.EncodedSize(), l.payloadCapacity()))
+	}
+	if f.curBytes+r.EncodedSize() > l.payloadCapacity() {
+		l.seal(f)
+	}
+	f.cur = append(f.cur, r)
+	f.curBytes += r.EncodedSize()
+	l.stats.Records++
+	l.stats.BytesLogged += int64(r.EncodedSize())
+}
+
+// seal closes the fragment's buffer page and issues its write, honoring
+// the topological ordering among commit groups: the write starts only
+// after every group it depends on is durable. Per-device writes are FIFO,
+// so a transaction's commit page (same fragment as its updates) can never
+// overtake its update pages.
+func (l *Log) seal(f *fragment) {
+	if len(f.cur) == 0 {
+		return
+	}
+	img, err := EncodePage(f.cur, l.cfg.PageSize)
+	if err != nil {
+		panic(fmt.Sprintf("wal: sealing: %v", err))
+	}
+	p := &pendingPage{
+		seq:     l.pageSeq,
+		records: f.cur,
+		commits: f.curCommits,
+	}
+	l.pageSeq++
+	f.timerSeq++
+
+	deps := make(map[*pendingPage]struct{}, len(f.curDeps))
+	for g := range f.curDeps {
+		deps[g] = struct{}{}
+	}
+	// WAL across fragments is structural (per-transaction fragment
+	// affinity); txnPages adds a defensive ordering edge in case a
+	// transaction's records ever span fragments.
+	for _, t := range p.commits {
+		for _, q := range l.txnPages[t] {
+			deps[q] = struct{}{}
+		}
+	}
+	for g := range deps {
+		if !g.durable {
+			p.deps = append(p.deps, g)
+		}
+	}
+	for _, t := range p.commits {
+		delete(l.inBuffer, t)
+		l.txnGroup[t] = p
+	}
+	for _, r := range p.records {
+		if r.Txn != 0 && r.Type != Commit {
+			l.txnPages[r.Txn] = append(l.txnPages[r.Txn], p)
+		}
+	}
+	f.cur, f.curBytes, f.curCommits = nil, 0, nil
+	f.curDeps = make(map[*pendingPage]struct{})
+
+	earliest := l.sim.Now()
+	for _, g := range p.deps {
+		if !g.durable && g.done > earliest {
+			earliest = g.done
+		}
+	}
+	p.done = f.dev.Write(earliest, img)
+	l.pages = append(l.pages, p)
+	l.stats.PagesWritten++
+	for _, r := range p.records {
+		l.stats.BytesToDisk += int64(r.EncodedSize())
+	}
+	if len(p.commits) > 0 {
+		l.stats.Groups++
+		l.stats.GroupSizeSum += int64(len(p.commits))
+	}
+	l.sim.At(p.done, func() {
+		p.durable = true
+		for _, t := range p.commits {
+			delete(l.txnGroup, t)
+			delete(l.txnPages, t)
+			l.deliverCommit(t)
+		}
+		for _, r := range p.records {
+			if r.Type == End {
+				delete(l.txnPages, r.Txn) // rollback complete; nothing depends on it anymore
+			}
+		}
+	})
+}
+
+func (l *Log) deliverCommit(txn TxnID) {
+	l.stats.Commits++
+	if l.onCommit != nil {
+		l.onCommit(txn)
+	}
+}
+
+// DurableLSN returns the highest LSN below which every log record is
+// durable: disk-resident, or (under the stable-memory policy) in the
+// battery-backed region. The checkpointer consults this to honor the WAL
+// rule before writing a data page.
+func (l *Log) DurableLSN() LSN {
+	if l.cfg.Policy == StableMemory {
+		return l.nextLSN // stable memory is durable by assumption (§5.1)
+	}
+	min := l.nextLSN + 1
+	for l.firstPending < len(l.pages) && l.pages[l.firstPending].durable {
+		l.firstPending++
+	}
+	for _, p := range l.pages[l.firstPending:] {
+		if !p.durable && len(p.records) > 0 && p.records[0].LSN < min {
+			min = p.records[0].LSN
+		}
+	}
+	for _, f := range l.frags {
+		if len(f.cur) > 0 && f.cur[0].LSN < min {
+			min = f.cur[0].LSN
+		}
+	}
+	return min - 1
+}
+
+// --- stable memory ---
+
+func (l *Log) stableAppend(r Record) bool {
+	if l.stableBytes+r.EncodedSize() > l.cfg.StableCapacity {
+		l.startDrain()
+		return false
+	}
+	l.stable = append(l.stable, r)
+	l.stableBytes += r.EncodedSize()
+	l.stats.Records++
+	l.stats.BytesLogged += int64(r.EncodedSize())
+	if l.stableBytes >= l.payloadCapacity() {
+		l.startDrain()
+	}
+	return true
+}
+
+// startDrain writes one page worth of stable records to disk, compressing
+// committed transactions' records to new-values-only when enabled. Further
+// pages chain from the completion event. The drained prefix stays in
+// stable memory until the write completes: a crash mid-write must still
+// find the records somewhere durable.
+func (l *Log) startDrain() {
+	if l.draining || len(l.stable) == 0 {
+		return
+	}
+	var page []Record
+	bytes := 0
+	n := 0
+	for _, r := range l.stable {
+		out := r
+		if l.cfg.Compress && r.Type == Update && l.stableCommitted[r.Txn] {
+			out = r.WithoutOld()
+		}
+		if bytes+out.EncodedSize() > l.payloadCapacity() {
+			break
+		}
+		page = append(page, out)
+		bytes += out.EncodedSize()
+		n++
+	}
+	if n == 0 {
+		panic("wal: stable record exceeds page payload")
+	}
+	img, err := EncodePage(page, l.cfg.PageSize)
+	if err != nil {
+		panic(fmt.Sprintf("wal: draining: %v", err))
+	}
+	freed := 0
+	for _, r := range l.stable[:n] {
+		freed += r.EncodedSize()
+	}
+	l.draining = true
+
+	dev := l.cfg.Devices[l.nextDrainDev]
+	l.nextDrainDev = (l.nextDrainDev + 1) % len(l.cfg.Devices)
+	done := dev.Write(l.sim.Now(), img)
+	p := &pendingPage{seq: l.pageSeq, records: page, done: done}
+	l.pageSeq++
+	l.pages = append(l.pages, p)
+	l.stats.PagesWritten++
+	l.stats.BytesToDisk += int64(bytes)
+	l.sim.At(done, func() {
+		p.durable = true
+		l.draining = false
+		l.stable = append([]Record(nil), l.stable[n:]...)
+		l.stableBytes -= freed
+		if l.onDrain != nil {
+			l.onDrain()
+		}
+		if l.stableBytes >= l.payloadCapacity() || (l.stableBytes > 0 && l.sim.Pending() == 0) {
+			l.startDrain()
+		}
+	})
+}
+
+// TruncateBefore reclaims the log prefix below lsn: records with smaller
+// LSNs no longer appear in the recovery view. The caller is responsible
+// for the §5.5 safety bound — lsn must not exceed the recovery start
+// point (the oldest entry of the stable first-update table) nor the first
+// LSN of any unresolved transaction, or redo/undo would lose work.
+// Truncation only moves forward.
+func (l *Log) TruncateBefore(lsn LSN) {
+	if lsn <= l.truncateLSN {
+		return
+	}
+	l.truncateLSN = lsn
+	// Account reclaimed records on fully-truncated durable pages and drop
+	// their images.
+	keep := l.pages[:0]
+	for _, p := range l.pages {
+		allBelow := p.durable && len(p.records) > 0 && p.records[len(p.records)-1].LSN < lsn
+		if allBelow {
+			l.stats.Truncated += int64(len(p.records))
+			continue
+		}
+		keep = append(keep, p)
+	}
+	l.pages = keep
+	l.firstPending = 0
+}
+
+// TruncatedLSN returns the current truncation horizon.
+func (l *Log) TruncatedLSN() LSN { return l.truncateLSN }
+
+// StableRecords returns the records currently held in stable memory,
+// including a prefix whose drain to disk is still in flight.
+func (l *Log) StableRecords() []Record {
+	return append([]Record(nil), l.stable...)
+}
+
+// DurableRecords reconstructs the single merged log visible after a crash
+// at time t: the durable prefix of every device fragment merged by LSN
+// (§5.2's sort-merge of log fragments), followed by stable memory's
+// surviving records when the policy is StableMemory. Duplicates (a record
+// both drained to disk and still in stable memory) collapse in the merge.
+func (l *Log) DurableRecords(t time.Duration) ([]Record, error) {
+	var fragments [][]Record
+	for _, d := range l.cfg.Devices {
+		var frag []Record
+		for _, img := range d.DurablePages(t) {
+			recs, err := DecodePage(img)
+			if err != nil {
+				return nil, err
+			}
+			frag = append(frag, recs...)
+		}
+		fragments = append(fragments, frag)
+	}
+	if l.cfg.Policy == StableMemory {
+		fragments = append(fragments, l.StableRecords())
+	}
+	merged := MergeFragments(fragments)
+	if l.truncateLSN > 0 {
+		lo, hi := 0, len(merged)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if merged[mid].LSN < l.truncateLSN {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		merged = merged[lo:]
+	}
+	return merged, nil
+}

@@ -1,0 +1,64 @@
+package wal
+
+import "container/heap"
+
+// MergeFragments recreates a single log from per-device fragments by
+// merging on LSN, "as in a sort-merge" (§5.2). Each fragment must already
+// be LSN-ordered, which holds because pages are filled and written in
+// append order per device. Duplicate LSNs (a record durable both on disk
+// and still in stable memory) keep the first occurrence.
+func MergeFragments(fragments [][]Record) []Record {
+	h := &fragHeap{}
+	total := 0
+	for i, f := range fragments {
+		total += len(f)
+		if len(f) > 0 {
+			h.items = append(h.items, fragCursor{frag: i, records: f})
+		}
+	}
+	heap.Init(h)
+	out := make([]Record, 0, total)
+	var lastLSN LSN
+	for h.Len() > 0 {
+		c := &h.items[0]
+		r := c.records[0]
+		if len(out) == 0 || r.LSN != lastLSN {
+			out = append(out, r)
+			lastLSN = r.LSN
+		}
+		c.records = c.records[1:]
+		if len(c.records) == 0 {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+type fragCursor struct {
+	frag    int
+	records []Record
+}
+
+type fragHeap struct {
+	items []fragCursor
+}
+
+func (h *fragHeap) Len() int { return len(h.items) }
+func (h *fragHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.records[0].LSN != b.records[0].LSN {
+		return a.records[0].LSN < b.records[0].LSN
+	}
+	return a.frag < b.frag
+}
+func (h *fragHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *fragHeap) Push(x interface{}) { h.items = append(h.items, x.(fragCursor)) }
+func (h *fragHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/simio"
+	"mmdb/internal/tuple"
+)
+
+func disk() *simio.Disk {
+	return simio.NewDisk(cost.NewClock(cost.DefaultParams()), 4096)
+}
+
+func TestDefaultShapeMatchesTable2(t *testing.T) {
+	// 100-byte tuples, 40 per 4096-byte page.
+	f := MustGenerate(disk(), RelationSpec{Name: "r", Tuples: 400, Seed: 1})
+	if f.Schema().Width() != 100 {
+		t.Fatalf("width = %d", f.Schema().Width())
+	}
+	if f.TuplesPerPage() != 40 {
+		t.Fatalf("tuples/page = %d", f.TuplesPerPage())
+	}
+	if f.NumPages() != 10 {
+		t.Fatalf("pages = %d", f.NumPages())
+	}
+}
+
+func TestUniquePermutationKeys(t *testing.T) {
+	f := MustGenerate(disk(), RelationSpec{Name: "r", Tuples: 500, Seed: 2})
+	seen := make(map[int64]bool)
+	sc := f.Schema()
+	f.Scan(simio.Uncharged, func(tp tuple.Tuple) bool {
+		seen[sc.Int(tp, KeyCol)] = true
+		return true
+	})
+	if len(seen) != 500 {
+		t.Fatalf("%d distinct keys of 500", len(seen))
+	}
+	for k := range seen {
+		if k < 0 || k >= 500 {
+			t.Fatalf("key %d outside permutation range", k)
+		}
+	}
+}
+
+func TestBoundedDomainKeys(t *testing.T) {
+	f := MustGenerate(disk(), RelationSpec{Name: "r", Tuples: 500, KeyDomain: 7, Seed: 3})
+	sc := f.Schema()
+	f.Scan(simio.Uncharged, func(tp tuple.Tuple) bool {
+		if k := sc.Int(tp, KeyCol); k < 0 || k >= 7 {
+			t.Fatalf("key %d out of domain", k)
+		}
+		return true
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustGenerate(disk(), RelationSpec{Name: "r", Tuples: 100, KeyDomain: 50, Seed: 9})
+	b := MustGenerate(disk(), RelationSpec{Name: "r", Tuples: 100, KeyDomain: 50, Seed: 9})
+	var ka, kb []int64
+	a.Scan(simio.Uncharged, func(tp tuple.Tuple) bool {
+		ka = append(ka, a.Schema().Int(tp, 0))
+		return true
+	})
+	b.Scan(simio.Uncharged, func(tp tuple.Tuple) bool {
+		kb = append(kb, b.Schema().Int(tp, 0))
+		return true
+	})
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatal("same seed produced different relations")
+		}
+	}
+}
+
+func TestZipfKeysAreSkewed(t *testing.T) {
+	f := MustGenerate(disk(), RelationSpec{Name: "z", Tuples: 5000, KeyDomain: 1000, ZipfS: 1.5, Seed: 6})
+	counts := map[int64]int{}
+	sc := f.Schema()
+	f.Scan(simio.Uncharged, func(tp tuple.Tuple) bool {
+		k := sc.Int(tp, KeyCol)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("zipf key %d out of domain", k)
+		}
+		counts[k]++
+		return true
+	})
+	// Key 0 should dominate heavily under Zipf(1.5).
+	if counts[0] < 500 {
+		t.Fatalf("zipf head key appeared only %d times", counts[0])
+	}
+	if len(counts) < 20 {
+		t.Fatalf("zipf tail too thin: %d distinct keys", len(counts))
+	}
+}
+
+func TestNegativeCountRejected(t *testing.T) {
+	if _, err := Generate(disk(), RelationSpec{Name: "r", Tuples: -1}); err == nil {
+		t.Fatal("negative tuple count accepted")
+	}
+}
+
+func TestGenerationIsUncharged(t *testing.T) {
+	d := disk()
+	MustGenerate(d, RelationSpec{Name: "r", Tuples: 1000, Seed: 4})
+	if c := d.Clock().Counters(); c.SeqIOs+c.RandIOs != 0 {
+		t.Fatalf("generation charged IO: %+v", c)
+	}
+}

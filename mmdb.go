@@ -1,0 +1,185 @@
+// Package mmdb is a main-memory relational database engine reproducing
+// "Implementation Techniques for Main Memory Database Systems" (DeWitt,
+// Katz, Olken, Shapiro, Stonebraker, Wood — SIGMOD 1984).
+//
+// The engine bundles the paper's building blocks behind one API:
+//
+//   - relations stored as paged heap files with AVL and B+-tree indexes
+//     (§2), over a simulated disk that charges every operation to a
+//     deterministic virtual clock using the paper's Table 2 hardware
+//     parameters;
+//   - the four §3 join algorithms (sort-merge, simple hash, GRACE hash,
+//     hybrid hash) plus hash-based aggregation and duplicate elimination
+//     (§3.9), each both executable and analytically costed;
+//   - a Selinger-style access planner implementing the §4 observation
+//     that large memories collapse planning to selectivity ordering over
+//     hash joins;
+//   - a §5 recovery simulator: group commit with pre-committed
+//     transactions, partitioned logs, stable-memory log compression,
+//     fuzzy checkpointing and crash recovery.
+//
+// Start with Open, load relations, then use Join, Aggregate, Lookup, and
+// Plan. The cmd/mmdbench binary regenerates every table and figure of the
+// paper; see EXPERIMENTS.md for the measured results.
+package mmdb
+
+import (
+	"fmt"
+	"time"
+
+	"mmdb/internal/catalog"
+	"mmdb/internal/cost"
+	"mmdb/internal/heap"
+	"mmdb/internal/simio"
+	"mmdb/internal/tuple"
+)
+
+// Re-exported schema building blocks.
+type (
+	// Schema describes a relation's fixed-width tuple layout.
+	Schema = tuple.Schema
+	// Field is one typed column.
+	Field = tuple.Field
+	// Tuple is an encoded row.
+	Tuple = tuple.Tuple
+	// Value is a dynamically typed column value.
+	Value = tuple.Value
+	// Params is the hardware characterization (Table 2/3).
+	Params = cost.Params
+	// Counters tallies primitive operations charged to the virtual clock.
+	Counters = cost.Counters
+)
+
+// Column kinds.
+const (
+	Int64   = tuple.Int64
+	Float64 = tuple.Float64
+	String  = tuple.String
+)
+
+// Value constructors, re-exported.
+var (
+	IntValue    = tuple.IntValue
+	FloatValue  = tuple.FloatValue
+	StringValue = tuple.StringValue
+	NewSchema   = tuple.NewSchema
+	MustSchema  = tuple.MustSchema
+)
+
+// DefaultParams returns the paper's Table 2 parameter settings.
+func DefaultParams() Params { return cost.DefaultParams() }
+
+// Options configures a Database.
+type Options struct {
+	// PageSize is the storage page size in bytes (the paper's P).
+	// 0 means 4096.
+	PageSize int
+	// MemoryPages is |M|, the pages of main memory query operators may
+	// use. 0 means 1000 (4 MB at 4 KB pages, the paper's §3.2 example).
+	MemoryPages int
+	// Params is the virtual-clock hardware model. Zero value means
+	// DefaultParams.
+	Params Params
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.MemoryPages == 0 {
+		o.MemoryPages = 1000
+	}
+	if o.Params == (Params{}) {
+		o.Params = cost.DefaultParams()
+	}
+	return o
+}
+
+// Database is a main-memory relational database with simulated IO cost
+// accounting. Not safe for concurrent use.
+type Database struct {
+	opts  Options
+	clock *cost.Clock
+	disk  *simio.Disk
+	cat   *catalog.Catalog
+}
+
+// Open creates an empty database.
+func Open(opts Options) (*Database, error) {
+	opts = opts.withDefaults()
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PageSize < 64 {
+		return nil, fmt.Errorf("mmdb: page size %d too small", opts.PageSize)
+	}
+	if opts.MemoryPages < 2 {
+		return nil, fmt.Errorf("mmdb: need at least 2 memory pages")
+	}
+	clock := cost.NewClock(opts.Params)
+	disk := simio.NewDisk(clock, opts.PageSize)
+	return &Database{
+		opts:  opts,
+		clock: clock,
+		disk:  disk,
+		cat:   catalog.New(disk),
+	}, nil
+}
+
+// MustOpen is Open that panics on error.
+func MustOpen(opts Options) *Database {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Options returns the effective configuration.
+func (db *Database) Options() Options { return db.opts }
+
+// MemoryPages returns |M|.
+func (db *Database) MemoryPages() int { return db.opts.MemoryPages }
+
+// Counters returns the operations charged so far.
+func (db *Database) Counters() Counters { return db.clock.Counters() }
+
+// VirtualTime returns the elapsed virtual time.
+func (db *Database) VirtualTime() time.Duration { return db.clock.Now() }
+
+// ResetClock zeroes the virtual clock and counters (between experiments).
+func (db *Database) ResetClock() { db.clock.Reset() }
+
+// CreateRelation registers an empty relation.
+func (db *Database) CreateRelation(name string, schema *Schema) (*Relation, error) {
+	r, err := db.cat.Create(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: db, rel: r}, nil
+}
+
+// Relation looks up an existing relation.
+func (db *Database) Relation(name string) (*Relation, error) {
+	r, err := db.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: db, rel: r}, nil
+}
+
+// Relations lists all relation names.
+func (db *Database) Relations() []string { return db.cat.Names() }
+
+// DropRelation removes a relation and its storage.
+func (db *Database) DropRelation(name string) error { return db.cat.Drop(name) }
+
+// adoptFile registers an internally produced heap file (for tests and the
+// workload generators).
+func (db *Database) adoptFile(f *heap.File) (*Relation, error) {
+	r, err := db.cat.Adopt(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: db, rel: r}, nil
+}

@@ -1,0 +1,539 @@
+package mmdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func openTestDB(t *testing.T) *Database {
+	t.Helper()
+	db, err := Open(Options{PageSize: 512, MemoryPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func empSchema() *Schema {
+	return MustSchema(
+		Field{Name: "id", Kind: Int64},
+		Field{Name: "dept", Kind: Int64},
+		Field{Name: "salary", Kind: Int64},
+		Field{Name: "name", Kind: String, Size: 16},
+	)
+}
+
+func deptSchema() *Schema {
+	return MustSchema(
+		Field{Name: "id", Kind: Int64},
+		Field{Name: "label", Kind: String, Size: 16},
+	)
+}
+
+func loadCompany(t *testing.T, db *Database, nEmp, nDept int) (*Relation, *Relation) {
+	t.Helper()
+	emp, err := db.CreateRelation("emp", empSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nEmp; i++ {
+		err := emp.Insert(
+			IntValue(int64(i)),
+			IntValue(int64(i%nDept)),
+			IntValue(int64(1000+i%500)),
+			StringValue(fmt.Sprintf("emp%d", i)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := emp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dept, err := db.CreateRelation("dept", deptSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nDept; i++ {
+		if err := dept.Insert(IntValue(int64(i)), StringValue(fmt.Sprintf("dept%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dept.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return emp, dept
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Options{PageSize: 8}); err == nil {
+		t.Error("tiny page accepted")
+	}
+	if _, err := Open(Options{MemoryPages: 1}); err == nil {
+		t.Error("one-page memory accepted")
+	}
+	db := MustOpen(Options{})
+	if db.Options().PageSize != 4096 || db.MemoryPages() != 1000 {
+		t.Errorf("defaults %+v", db.Options())
+	}
+}
+
+func TestRelationLifecycle(t *testing.T) {
+	db := openTestDB(t)
+	emp, _ := loadCompany(t, db, 100, 5)
+	if emp.NumTuples() != 100 {
+		t.Fatalf("tuples %d", emp.NumTuples())
+	}
+	if got := db.Relations(); len(got) != 2 {
+		t.Fatalf("relations %v", got)
+	}
+	if _, err := db.Relation("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropRelation("dept"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Relation("dept"); err == nil {
+		t.Fatal("dropped relation still visible")
+	}
+}
+
+func TestLookupViaIndexAndScan(t *testing.T) {
+	db := openTestDB(t)
+	emp, _ := loadCompany(t, db, 200, 5)
+
+	// Unindexed lookup: charged sequential scan.
+	db.ResetClock()
+	rows, err := emp.Lookup("id", IntValue(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || emp.Schema().Get(rows[0], 3).S != "emp42" {
+		t.Fatalf("lookup rows %v", rows)
+	}
+	if db.Counters().SeqIOs == 0 {
+		t.Fatal("scan lookup charged no IO")
+	}
+
+	// Indexed lookups for both access methods.
+	for _, kind := range []IndexKind{BTree, AVL} {
+		db2 := openTestDB(t)
+		e2, _ := loadCompany(t, db2, 200, 5)
+		if err := e2.CreateIndex("id", kind); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := e2.Lookup("id", IntValue(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 {
+			t.Fatalf("%v: %d rows", kind, len(rows))
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	db := openTestDB(t)
+	emp, _ := loadCompany(t, db, 50, 5)
+	if err := emp.AscendRange("id", IntValue(0), func(Tuple) bool { return true }); err == nil {
+		t.Fatal("range scan without index succeeded")
+	}
+	if err := emp.CreateIndex("id", BTree); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	err := emp.AscendRange("id", IntValue(45), func(tp Tuple) bool {
+		ids = append(ids, emp.Schema().Int(tp, 0))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 || ids[0] != 45 || ids[4] != 49 {
+		t.Fatalf("range ids %v", ids)
+	}
+}
+
+func TestJoinAllAlgorithmsAgree(t *testing.T) {
+	db := openTestDB(t)
+	loadCompany(t, db, 300, 7)
+	var base int64 = -1
+	for _, alg := range []JoinAlgorithm{AutoJoin, NestedLoops, SortMerge, SimpleHash, GraceHash, HybridHash} {
+		res, err := db.Join(alg, "emp", "dept", "dept", "id", nil)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if base == -1 {
+			base = res.Matches
+		}
+		if res.Matches != base || res.Matches != 300 {
+			t.Fatalf("%v: %d matches, want 300", alg, res.Matches)
+		}
+	}
+	// Auto picks hybrid per §4.
+	res, _ := db.Join(AutoJoin, "emp", "dept", "dept", "id", nil)
+	if res.Algorithm != HybridHash {
+		t.Fatalf("auto chose %v", res.Algorithm)
+	}
+}
+
+func TestJoinSwapsBuildSide(t *testing.T) {
+	db := openTestDB(t)
+	loadCompany(t, db, 300, 7)
+	// dept is smaller: passing it second must still produce (emp, dept)
+	// pairs to the caller in the declared order.
+	sawEmpLeft := true
+	res, err := db.Join(HybridHash, "emp", "dept", "dept", "id", func(l, r Tuple) {
+		if len(l) != empSchema().Width() || len(r) != deptSchema().Width() {
+			sawEmpLeft = false
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 300 || !sawEmpLeft {
+		t.Fatal("emit order not preserved across build-side swap")
+	}
+}
+
+func TestAggregateAndDistinct(t *testing.T) {
+	db := openTestDB(t)
+	loadCompany(t, db, 100, 4)
+	groups, err := db.Aggregate("emp", "dept", "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	var total int64
+	for _, g := range groups {
+		total += g.Count
+		if g.Value(Avg) < 1000 || g.Value(Avg) > 1500 {
+			t.Fatalf("suspicious avg %f", g.Value(Avg))
+		}
+	}
+	if total != 100 {
+		t.Fatalf("group counts sum to %d", total)
+	}
+	distinct, err := db.Distinct("emp", "dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(distinct) != 4 {
+		t.Fatalf("%d distinct depts", len(distinct))
+	}
+}
+
+func TestPlanAndExecute(t *testing.T) {
+	db := MustOpen(Options{PageSize: 512, MemoryPages: 64})
+	loadCompany(t, db, 400, 8)
+	q := Query{
+		Tables: []QueryTable{
+			{Relation: "emp"},
+			{Relation: "dept"},
+		},
+		Joins: []QueryJoin{{LeftTable: 0, LeftCol: "dept", RightTable: 1, RightCol: "id"}},
+	}
+	full, err := db.Plan(q, FullSelinger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := db.Plan(q, HashOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.PlansConsidered >= full.PlansConsidered {
+		t.Fatalf("no search reduction: %d vs %d", hash.PlansConsidered, full.PlansConsidered)
+	}
+	res, err := hash.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTuples() != 400 {
+		t.Fatalf("plan produced %d rows, want 400", res.NumTuples())
+	}
+}
+
+func TestPlanWithFilter(t *testing.T) {
+	db := MustOpen(Options{PageSize: 512, MemoryPages: 64})
+	emp, _ := loadCompany(t, db, 400, 8)
+	sc := emp.Schema()
+	q := Query{
+		Tables: []QueryTable{
+			{Relation: "emp", Selectivity: 0.125, Filter: func(tp Tuple) bool {
+				return sc.Int(tp, 1) == 3 // one department
+			}},
+			{Relation: "dept"},
+		},
+		Joins: []QueryJoin{{LeftTable: 0, LeftCol: "dept", RightTable: 1, RightCol: "id"}},
+	}
+	plan, err := db.Plan(q, HashOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTuples() != 50 {
+		t.Fatalf("filtered join produced %d rows, want 50", res.NumTuples())
+	}
+}
+
+func TestRecoverySimFacade(t *testing.T) {
+	sim, err := NewRecoverySim(RecoveryConfig{
+		Accounts:  1000,
+		Terminals: 20,
+		Policy:    GroupCommit,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sim.Run(2_000_000_000) // 2 s of virtual time
+	if stats.TPS < 400 {
+		t.Fatalf("group commit TPS %.1f unexpectedly low", stats.TPS)
+	}
+	committed, info, err := sim.CrashAndRecover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed == 0 || info.Redone == 0 {
+		t.Fatalf("recovery saw nothing: %+v", info)
+	}
+	if int64(committed) < stats.Committed {
+		t.Fatalf("recovery found %d commits, engine acked %d", committed, stats.Committed)
+	}
+}
+
+func TestOrderByStreamsSorted(t *testing.T) {
+	db := MustOpen(Options{PageSize: 512, MemoryPages: 4}) // tiny: forces run files
+	rel, err := db.CreateRelation("n", MustSchema(
+		Field{Name: "x", Kind: Int64},
+		Field{Name: "pad", Kind: String, Size: 24},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		rel.Insert(IntValue(int64((i*7919)%n)), StringValue("p"))
+	}
+	rel.Flush()
+	db.ResetClock()
+	var got []int64
+	err = db.OrderBy("n", "x", func(tp Tuple) bool {
+		got = append(got, rel.Schema().Int(tp, 0))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("streamed %d of %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order at %d: %d < %d", i, got[i], got[i-1])
+		}
+	}
+	if db.Counters().SeqIOs == 0 {
+		t.Fatal("external sort charged no run IO at 4 memory pages")
+	}
+	if err := db.OrderBy("n", "nope", func(Tuple) bool { return true }); err == nil {
+		t.Fatal("bad column accepted")
+	}
+}
+
+func TestPredicatesAndSelect(t *testing.T) {
+	db := openTestDB(t)
+	emp, _ := loadCompany(t, db, 200, 8)
+
+	rich, err := db.Where("emp", "salary", Ge, IntValue(1100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDept, err := db.Where("emp", "dept", Eq, IntValue(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rich.And(inDept)
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+
+	// Oracle by scan.
+	want := 0
+	emp.Scan(func(tp Tuple) bool {
+		if emp.Schema().Int(tp, 2) >= 1100 && emp.Schema().Int(tp, 1) == 3 {
+			want++
+		}
+		return true
+	})
+	got := 0
+	if err := emp.Select(p, func(Tuple) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != want || want == 0 {
+		t.Fatalf("select matched %d, oracle %d", got, want)
+	}
+
+	// Negation covers the complement.
+	not := 0
+	emp.Select(p.Not(), func(Tuple) bool { not++; return true })
+	if got+not != 200 {
+		t.Fatalf("p + !p covered %d of 200", got+not)
+	}
+
+	// Cross-relation combination is an error.
+	other, _ := db.Where("dept", "id", Eq, IntValue(1))
+	if bad := rich.And(other); bad.Err() == nil {
+		t.Fatal("cross-relation AND accepted")
+	}
+	if err := emp.Select(other, func(Tuple) bool { return true }); err == nil {
+		t.Fatal("foreign predicate accepted by Select")
+	}
+}
+
+func TestHistogramSelectivityDrivesPlanning(t *testing.T) {
+	db := MustOpen(Options{PageSize: 512, MemoryPages: 64})
+	loadCompany(t, db, 400, 8)
+	if err := db.BuildHistogram("emp", "salary", 16); err != nil {
+		t.Fatal(err)
+	}
+	// Salaries are 1000 + i%500: uniform over [1000,1500).
+	p := db.MustWhere("emp", "salary", Ge, IntValue(1300))
+	sel := p.EstimatedSelectivity()
+	if sel < 0.15 || sel > 0.35 {
+		t.Fatalf("estimated selectivity %.3f, true ≈ 0.25", sel)
+	}
+	// Without a histogram the System R default (1/3) applies.
+	q := db.MustWhere("emp", "dept", Eq, IntValue(1))
+	if s := q.EstimatedSelectivity(); s != 0.1 {
+		t.Fatalf("default Eq selectivity %.3f", s)
+	}
+
+	// The planner consumes the structured predicate end to end.
+	plan, err := db.Plan(Query{
+		Tables: []QueryTable{
+			{Relation: "emp", Where: p},
+			{Relation: "dept"},
+		},
+		Joins: []QueryJoin{{LeftTable: 0, LeftCol: "dept", RightTable: 1, RightCol: "id"}},
+	}, HashOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	emp, _ := db.Relation("emp")
+	emp.Scan(func(tp Tuple) bool {
+		if emp.Schema().Int(tp, 2) >= 1300 {
+			want++
+		}
+		return true
+	})
+	if res.NumTuples() != want {
+		t.Fatalf("planned+filtered join produced %d rows, want %d", res.NumTuples(), want)
+	}
+}
+
+func TestDeleteAndUpdateMaintainIndexes(t *testing.T) {
+	db := openTestDB(t)
+	emp, _ := loadCompany(t, db, 120, 6)
+	if err := emp.CreateIndex("id", BTree); err != nil {
+		t.Fatal(err)
+	}
+	if err := emp.CreateIndex("dept", AVL); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete one department (20 rows).
+	removed, err := emp.Delete("dept", IntValue(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 20 || emp.NumTuples() != 100 {
+		t.Fatalf("removed %d, left %d", removed, emp.NumTuples())
+	}
+	if rows, _ := emp.Lookup("dept", IntValue(3)); len(rows) != 0 {
+		t.Fatalf("index still finds %d deleted rows", len(rows))
+	}
+	if rows, _ := emp.Lookup("id", IntValue(4)); len(rows) != 1 { // id 4 is in dept 4
+		t.Fatalf("unrelated index entry lost: %d rows", len(rows))
+	}
+
+	// Update a row's salary and verify via both scan and index.
+	changed, err := emp.Update("id", IntValue(7), "salary", IntValue(99999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 {
+		t.Fatalf("changed %d", changed)
+	}
+	rows, err := emp.Lookup("id", IntValue(7))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("lookup after update: %v %d", err, len(rows))
+	}
+	if got := emp.Schema().Int(rows[0], 2); got != 99999 {
+		t.Fatalf("salary %d after update", got)
+	}
+
+	// Missing columns rejected.
+	if _, err := emp.Delete("nope", IntValue(1)); err == nil {
+		t.Fatal("bad delete column accepted")
+	}
+	if _, err := emp.Update("id", IntValue(1), "nope", IntValue(1)); err == nil {
+		t.Fatal("bad update column accepted")
+	}
+}
+
+func TestRecoverySimVersionedReaders(t *testing.T) {
+	mk := func(versioning bool) RecoveryStats {
+		sim, err := NewRecoverySim(RecoveryConfig{
+			Accounts:          64,
+			Terminals:         20,
+			ReadOnlyTerminals: 8,
+			ReadAccounts:      64,
+			ReadCPU:           2_000_000, // 2ms
+			Versioning:        versioning,
+			Policy:            GroupCommit,
+			Seed:              3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(3_000_000_000) // 3 s virtual
+	}
+	locked := mk(false)
+	versioned := mk(true)
+	if locked.ReadTxns == 0 || versioned.ReadTxns == 0 {
+		t.Fatalf("readers idle: %d / %d", locked.ReadTxns, versioned.ReadTxns)
+	}
+	if versioned.TPS <= locked.TPS {
+		t.Fatalf("versioning writer TPS %.1f not above locking %.1f", versioned.TPS, locked.TPS)
+	}
+	if versioned.ReadTPS <= 0 {
+		t.Fatalf("ReadTPS %.1f", versioned.ReadTPS)
+	}
+}
+
+func TestVirtualClockAccounting(t *testing.T) {
+	db := openTestDB(t)
+	loadCompany(t, db, 300, 7)
+	db.ResetClock()
+	res, err := db.Join(HybridHash, "emp", "dept", "dept", "id", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != db.VirtualTime() {
+		t.Fatalf("join elapsed %v but database clock %v", res.Elapsed, db.VirtualTime())
+	}
+	if res.Counters.Hashes == 0 {
+		t.Fatal("hash join charged no hashes")
+	}
+}
