@@ -1,17 +1,22 @@
 // Command mmdbcli is a small interactive shell over the mmdb engine, for
 // poking at relations, indexes, joins and the virtual-clock accounting.
 //
-//	$ go run ./cmd/mmdbcli
+//	$ go run ./cmd/mmdbcli [-parallel N]
 //	mmdb> demo 10000
 //	mmdb> relations
 //	mmdb> lookup emp id 42
 //	mmdb> join emp dept dept id hybrid
 //	mmdb> agg emp dept salary
 //	mmdb> counters
+//
+// -parallel sets the worker count for the parallel join and aggregation
+// operators (1 = serial, -1 = GOMAXPROCS); the virtual-clock numbers the
+// shell prints are identical at every setting.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -21,7 +26,9 @@ import (
 )
 
 func main() {
-	db := mmdb.MustOpen(mmdb.Options{})
+	par := flag.Int("parallel", 1, "worker goroutines for join/aggregate operators (1 = serial, -1 = GOMAXPROCS)")
+	flag.Parse()
+	db := mmdb.MustOpen(mmdb.Options{Parallelism: *par})
 	fmt.Println("mmdb shell — 'help' for commands, 'quit' to exit")
 	sc := bufio.NewScanner(os.Stdin)
 	for {

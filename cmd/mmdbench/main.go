@@ -28,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation")
 	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
 	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
+	par := flag.Int("parallel", 1, "worker goroutines for executed join operators (1 = serial, -1 = GOMAXPROCS); virtual times are identical, wall time shrinks")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -58,6 +59,7 @@ func main() {
 		if *full {
 			cfg.ScaleDiv = 1
 		}
+		cfg.Parallelism = *par
 		res, err := experiments.RunFigure1(cfg)
 		if err != nil {
 			return err

@@ -10,8 +10,10 @@
 package agg
 
 import (
+	"context"
 	"fmt"
 
+	"mmdb/internal/exec"
 	"mmdb/internal/hashjoin"
 	"mmdb/internal/heap"
 	"mmdb/internal/simio"
@@ -30,6 +32,7 @@ const (
 	Avg
 )
 
+// String returns the function's lowercase name.
 func (f Func) String() string {
 	switch f {
 	case Count:
@@ -84,6 +87,15 @@ type Spec struct {
 	ValueCol int // aggregated attribute (must be Int64); ignored for Count-only use
 	M        int // pages of memory
 	F        float64
+	// Parallelism bounds the worker goroutines used to aggregate spilled
+	// hash partitions concurrently (the partitions are disjoint in group
+	// keys, so their group tables never interact). 0 or 1 means serial,
+	// negative means GOMAXPROCS. Counters are identical at every
+	// setting; the order of Groups is unspecified either way (the group
+	// table is a Go map, whose iteration order is randomized) — parallel
+	// merging adds no ordering nondeterminism of its own, since spilled
+	// partitions are concatenated in partition-index order.
+	Parallelism int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -231,6 +243,43 @@ func aggregate(spec Spec, in *heap.File, access simio.Access, level uint32, res 
 	if int(level)+2 > res.Passes {
 		res.Passes = int(level) + 2
 	}
+
+	workers := exec.Workers(spec.Parallelism)
+	if workers > 1 && len(out) > 1 {
+		// The spilled partitions hold disjoint group keys, so each can be
+		// aggregated by its own worker into a local Result. Locals are
+		// kept in a partition-indexed slice and merged in index order
+		// after the fan-in, so Groups come out in exactly the serial
+		// order regardless of worker scheduling. Deeper recursion inside
+		// a worker stays serial — the top-level fan-out already
+		// saturates the pool.
+		sub := spec
+		sub.Parallelism = 1
+		locals := make([]Result, len(out))
+		err := exec.NewPool(workers).ForEach(context.Background(), len(out), func(_ context.Context, i int) error {
+			pr := out[i]
+			if pr.Tuples == 0 {
+				pr.File.Drop()
+				return nil
+			}
+			if err := aggregate(sub, pr.File, simio.Seq, level+1, &locals[i]); err != nil {
+				return err
+			}
+			pr.File.Drop()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, local := range locals {
+			res.Groups = append(res.Groups, local.Groups...)
+			res.Partitions += local.Partitions
+			if local.Passes > res.Passes {
+				res.Passes = local.Passes
+			}
+		}
+		return nil
+	}
 	for _, pr := range out {
 		if pr.Tuples == 0 {
 			pr.File.Drop()
@@ -245,11 +294,12 @@ func aggregate(spec Spec, in *heap.File, access simio.Access, level uint32, res 
 }
 
 // Distinct performs projection with duplicate elimination on one column
-// (§3.9: "in projection we are grouping identical tuples"): it returns the
-// distinct values of col in input order of first appearance, using the
-// same memory-bounded hash machinery.
-func Distinct(in *heap.File, col int, m int, f float64) ([]tuple.Value, error) {
-	spec := Spec{Input: in, GroupCol: col, ValueCol: col, M: m, F: f}
+// (§3.9: "in projection we are grouping identical tuples"), using the same
+// memory-bounded hash machinery. Parallelism applies when the value table
+// spills to hash partitions, exactly as in Hash; the non-integer fallback
+// runs serially and preserves input order of first appearance.
+func Distinct(in *heap.File, col int, m int, f float64, parallelism int) ([]tuple.Value, error) {
+	spec := Spec{Input: in, GroupCol: col, ValueCol: col, M: m, F: f, Parallelism: parallelism}
 	schema := in.Schema()
 	if schema.Field(col).Kind != tuple.Int64 {
 		// Reuse the aggregate over a synthetic value by counting only.

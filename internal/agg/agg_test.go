@@ -139,7 +139,7 @@ func TestSpecValidation(t *testing.T) {
 func TestDistinctInt(t *testing.T) {
 	disk := env()
 	f := load(t, disk, "r", [][2]int64{{5, 0}, {3, 0}, {5, 0}, {9, 0}, {3, 0}})
-	vals, err := Distinct(f, 0, 16, 1.2)
+	vals, err := Distinct(f, 0, 16, 1.2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestDistinctString(t *testing.T) {
 		f.Append(sc.MustEncode(tuple.StringValue(s)), simio.Uncharged)
 	}
 	f.Flush(simio.Uncharged)
-	vals, err := Distinct(f, 0, 16, 1.2)
+	vals, err := Distinct(f, 0, 16, 1.2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1},
+		{1, 1},
+		{7, 7},
+		{-1, runtime.GOMAXPROCS(0)},
+		{-42, runtime.GOMAXPROCS(0)},
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.in); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSerialPoolRunsInOrder(t *testing.T) {
+	var order []int
+	err := NewPool(1).ForEach(context.Background(), 10, func(_ context.Context, i int) error {
+		order = append(order, i) // no lock: single worker runs inline
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool out of order: %v", order)
+		}
+	}
+}
+
+func TestParallelPoolRunsEveryTaskOnce(t *testing.T) {
+	const n = 200
+	var ran [n]atomic.Int64
+	err := NewPool(8).ForEach(context.Background(), n, func(_ context.Context, i int) error {
+		ran[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestFirstErrorPropagatesAndCancels(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	var started atomic.Int64
+	err := NewPool(4).ForEach(context.Background(), 100, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		<-ctx.Done() // park until the failure cancels us
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if s := started.Load(); s > 100 {
+		t.Fatalf("tasks started %d > n", s)
+	}
+}
+
+func TestSerialPoolStopsAtFirstError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	var ran int
+	err := NewPool(1).ForEach(context.Background(), 10, func(_ context.Context, i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || ran != 3 {
+		t.Fatalf("err=%v ran=%d, want boom after 3 tasks", err, ran)
+	}
+}
+
+func TestCanceledContextShortCircuits(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := NewPool(4).ForEach(ctx, 50, func(_ context.Context, _ int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestGatherRunsAllTasks(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]bool{}
+	mark := func(name string) func(context.Context) error {
+		return func(context.Context) error {
+			mu.Lock()
+			got[name] = true
+			mu.Unlock()
+			return nil
+		}
+	}
+	if err := NewPool(2).Gather(context.Background(), mark("r"), mark("s")); err != nil {
+		t.Fatal(err)
+	}
+	if !got["r"] || !got["s"] {
+		t.Fatalf("tasks missed: %v", got)
+	}
+}
+
+func TestNilAndZeroPoolAreSerial(t *testing.T) {
+	var zero Pool
+	if zero.Workers() != 1 {
+		t.Fatal("zero pool not serial")
+	}
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Fatal("nil pool not serial")
+	}
+	if err := nilPool.ForEach(context.Background(), 3, func(_ context.Context, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyForEach(t *testing.T) {
+	if err := NewPool(4).ForEach(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,7 +49,7 @@ func RunAgg() (*AggResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		distinct, err := agg.Distinct(rel, 0, m, 1.2)
+		distinct, err := agg.Distinct(rel, 0, m, 1.2, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,10 @@ type Figure1Config struct {
 	ScaleDiv       int
 	ExecutedRatios []float64
 	Seed           int64
+	// Parallelism is forwarded to each executed join's Spec. The virtual
+	// times it reports are identical at every setting (the clock counts
+	// operations, not goroutines); the knob only shortens wall time.
+	Parallelism int
 }
 
 // DefaultFigure1Config returns the Table 2 settings with a 20x scale-down
@@ -97,7 +101,7 @@ func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
 			continue
 		}
 		pt := ExecutedPoint{Ratio: ratio, M: m}
-		spec := join.Spec{R: r, S: s, M: m, F: cfg.Params.F}
+		spec := join.Spec{R: r, S: s, M: m, F: cfg.Params.F, Parallelism: cfg.Parallelism}
 		for _, alg := range []join.Algorithm{join.SortMerge, join.SimpleHash, join.GraceHash, join.HybridHash} {
 			out, err := join.Run(alg, spec, nil)
 			if err != nil {

@@ -13,8 +13,10 @@ import (
 )
 
 // File is a paged sequence of fixed-width tuples. Appends are buffered one
-// page at a time; Flush writes the final partial page. Not safe for
-// concurrent use.
+// page at a time; Flush writes the final partial page. Mutation (Append,
+// Flush, Drop, Rewrite) is not safe for concurrent use, but read-only
+// Scans of a flushed file may run concurrently — the parallel join workers
+// rely on this when each scans its own partition file.
 type File struct {
 	disk    *simio.Disk
 	space   *simio.Space

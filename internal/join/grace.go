@@ -1,8 +1,11 @@
 package join
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
+	"mmdb/internal/exec"
 	"mmdb/internal/hashjoin"
 	"mmdb/internal/heap"
 	"mmdb/internal/simio"
@@ -51,20 +54,63 @@ func graceHash(spec Spec, emit Emit, res *Result) error {
 	hasher := hashjoin.NewHasher(clock, 0)
 	splitter := hashjoin.Uniform(b)
 
-	rParts, err := partitionFile(spec.R, spec.RCol, hasher, splitter, prefix+".r", flush, simio.Uncharged)
+	// Phase one: partition R and S. The two scans write to disjoint
+	// partition files, so they overlap when the pool has more than one
+	// worker; with one worker Gather runs them inline, R first, exactly
+	// as the serial engine did.
+	pool := exec.NewPool(spec.Parallelism)
+	ctx := context.Background()
+	var rParts, sParts []hashjoin.PartitionResult
+	err := pool.Gather(ctx,
+		func(context.Context) error {
+			var err error
+			rParts, err = partitionFile(spec.R, spec.RCol, hasher, splitter, prefix+".r", flush, simio.Uncharged)
+			return err
+		},
+		func(context.Context) error {
+			var err error
+			sParts, err = partitionFile(spec.S, spec.SCol, hasher, splitter, prefix+".s", flush, simio.Uncharged)
+			return err
+		},
+	)
 	if err != nil {
 		return err
 	}
-	sParts, err := partitionFile(spec.S, spec.SCol, hasher, splitter, prefix+".s", flush, simio.Uncharged)
-	if err != nil {
-		return err
+
+	// Phase two: the bucket pairs are independent (§3.6 joins each R_i
+	// against its S_i and nothing else), so they fan out across the pool.
+	// Each worker accumulates pass depth into a local Result merged under
+	// a lock; every clock charge is already lock-free and commutative.
+	return joinPartitionPairs(pool, ctx, spec, rParts, sParts, emit, res)
+}
+
+// joinPartitionPairs joins rParts[i] with sParts[i] for every i across the
+// pool's workers, merging each pair's recursion depth into res.
+func joinPartitionPairs(pool *exec.Pool, ctx context.Context, spec Spec,
+	rParts, sParts []hashjoin.PartitionResult, emit Emit, res *Result) error {
+
+	if pool.Workers() == 1 {
+		// Serial: share res directly, preserving the exact seed behavior.
+		for i := range rParts {
+			if err := joinPartitionPair(spec, rParts[i].File, sParts[i].File, 1, emit, res); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	for i := range rParts {
-		if err := joinPartitionPair(spec, rParts[i].File, sParts[i].File, 1, emit, res); err != nil {
+	var mu sync.Mutex
+	return pool.ForEach(ctx, len(rParts), func(_ context.Context, i int) error {
+		local := Result{}
+		if err := joinPartitionPair(spec, rParts[i].File, sParts[i].File, 1, emit, &local); err != nil {
 			return err
 		}
-	}
-	return nil
+		mu.Lock()
+		if local.Passes > res.Passes {
+			res.Passes = local.Passes
+		}
+		mu.Unlock()
+		return nil
+	})
 }
 
 // partitionFile hashes every tuple of f and distributes it into the

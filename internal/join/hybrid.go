@@ -1,8 +1,10 @@
 package join
 
 import (
+	"context"
 	"math"
 
+	"mmdb/internal/exec"
 	"mmdb/internal/hashjoin"
 	"mmdb/internal/simio"
 	"mmdb/internal/tuple"
@@ -31,6 +33,9 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	if rf <= m {
 		// Degenerate case: all of R fits; hybrid == one-pass simple hash.
 		res.Passes = 1
+		if spec.workers() > 1 {
+			return residentJoinParallel(spec, emit)
+		}
 		hasher := hashjoin.NewHasher(clock, 0)
 		table := hashjoin.NewTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()))
 		err := spec.R.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
@@ -150,11 +155,69 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	}
 	table = nil // release R0 before the bucket joins
 
-	// Steps 3–4: join the disk partitions pairwise.
-	for i := range rParts {
-		if err := joinPartitionPair(spec, rParts[i].File, sParts[i].File, 1, emit, res); err != nil {
-			return err
-		}
+	// Steps 3–4: join the disk partitions pairwise. Like GRACE buckets,
+	// the pairs are independent and fan out across the worker pool.
+	return joinPartitionPairs(exec.NewPool(spec.Parallelism), context.Background(), spec, rParts, sParts, emit, res)
+}
+
+// residentJoinParallel is the all-of-R-resident case with build and probe
+// fanned out over hash shards: the scans stay sequential (hashing is
+// charged per tuple on the scanning goroutine, as in the serial path), and
+// the tuple moves into the table and the probe comparisons — the CPU terms
+// that dominate when no partition IO happens — run on one worker per
+// shard. ShardedTable routes by hash bits disjoint from the bucket bits,
+// so the counters tally exactly as in the single-table serial run.
+func residentJoinParallel(spec Spec, emit Emit) error {
+	clock := spec.R.Disk().Clock()
+	rSchema, sSchema := spec.R.Schema(), spec.S.Schema()
+	hasher := hashjoin.NewHasher(clock, 0)
+	workers := spec.workers()
+	table := hashjoin.NewShardedTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()), workers)
+	ns := table.NumShards()
+	pool := exec.NewPool(workers)
+	ctx := context.Background()
+
+	build := make([][]hashjoin.Keyed, ns)
+	err := spec.R.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+		h := hasher.Hash(rSchema.KeyBytes(t, spec.RCol))
+		s := table.ShardOf(h)
+		build[s] = append(build[s], hashjoin.Keyed{Hash: h, Tuple: t.Clone()})
+		return true
+	})
+	if err != nil {
+		return err
 	}
-	return nil
+	err = pool.ForEach(ctx, ns, func(_ context.Context, i int) error {
+		shard := table.Shard(i)
+		for _, k := range build[i] {
+			shard.Insert(k.Hash, k.Tuple)
+		}
+		build[i] = nil
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	probe := make([][]hashjoin.Keyed, ns)
+	err = spec.S.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+		h := hasher.Hash(sSchema.KeyBytes(t, spec.SCol))
+		s := table.ShardOf(h)
+		probe[s] = append(probe[s], hashjoin.Keyed{Hash: h, Tuple: t.Clone()})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return pool.ForEach(ctx, ns, func(_ context.Context, i int) error {
+		shard := table.Shard(i)
+		for _, k := range probe[i] {
+			key := sSchema.KeyBytes(k.Tuple, spec.SCol)
+			shard.Probe(k.Hash, key, func(r tuple.Tuple) {
+				emit(r, k.Tuple)
+			})
+		}
+		probe[i] = nil
+		return nil
+	})
 }

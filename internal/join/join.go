@@ -14,10 +14,12 @@ package join
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"mmdb/internal/cost"
+	"mmdb/internal/exec"
 	"mmdb/internal/heap"
 	"mmdb/internal/tuple"
 )
@@ -34,6 +36,7 @@ const (
 	HybridHash
 )
 
+// String returns the algorithm's name as used in experiment output.
 func (a Algorithm) String() string {
 	switch a {
 	case NestedLoops:
@@ -63,7 +66,21 @@ type Spec struct {
 	// variance. 0 means 1.25; 1.0 reproduces the paper's formula verbatim
 	// (and risks the recursive overflow pass of §3.3).
 	HybridSkew float64
+	// Parallelism bounds the worker goroutines the partition phases of
+	// GRACE and hybrid hash may use: the bucket pairs of §3.6/§3.7 are
+	// independent, so they fan out over a worker pool. 0 or 1 means
+	// serial execution on the calling goroutine, exactly the original
+	// engine; a negative value means one worker per CPU (GOMAXPROCS).
+	// The virtual clock's counters are identical at every setting — the
+	// per-partition work does not change, and counter addition commutes —
+	// so Parallelism trades wall-clock time only. Emit callbacks are
+	// serialized (never called concurrently), but their order changes
+	// with the schedule when Parallelism > 1.
+	Parallelism int
 }
+
+// workers returns the effective worker count for the spec.
+func (s Spec) workers() int { return exec.Workers(s.Parallelism) }
 
 func (s Spec) withDefaults() Spec {
 	if s.F == 0 {
@@ -128,10 +145,28 @@ func Run(a Algorithm, spec Spec, emit Emit) (Result, error) {
 	}
 	clock := spec.R.Disk().Clock()
 	res := Result{Algorithm: a}
-	counted := func(r, s tuple.Tuple) {
-		res.Matches++
-		if emit != nil {
-			emit(r, s)
+	parallel := spec.workers() > 1
+	var matches atomic.Int64
+	var emitMu sync.Mutex
+	var counted Emit
+	if parallel {
+		// Parallel partition workers emit concurrently: count matches
+		// atomically and serialize the user's callback so it never runs
+		// on two goroutines at once.
+		counted = func(r, s tuple.Tuple) {
+			matches.Add(1)
+			if emit != nil {
+				emitMu.Lock()
+				emit(r, s)
+				emitMu.Unlock()
+			}
+		}
+	} else {
+		counted = func(r, s tuple.Tuple) {
+			res.Matches++
+			if emit != nil {
+				emit(r, s)
+			}
 		}
 	}
 	before := clock.Counters()
@@ -153,6 +188,9 @@ func Run(a Algorithm, spec Spec, emit Emit) (Result, error) {
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	if parallel {
+		res.Matches = matches.Load()
 	}
 	res.Counters = clock.Counters().Sub(before)
 	res.Elapsed = clock.Now() - t0

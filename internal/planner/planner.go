@@ -53,6 +53,11 @@ type Query struct {
 	M        int         // memory pages available per join
 	Params   cost.Params // Table 2/3 hardware characterization
 	W        float64     // CPU weight in W*CPU + IO (Selinger); 0 means 1
+	// Parallelism is forwarded to every executed join's Spec (0 or 1 =
+	// serial, negative = GOMAXPROCS). Plan *costs* are unaffected: the
+	// virtual-clock charges are identical at every setting, so the
+	// optimizer's choices do not depend on the worker count.
+	Parallelism int
 }
 
 func (q Query) withDefaults() Query {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mmdb/internal/cost"
 )
@@ -39,6 +40,9 @@ func (a Access) String() string {
 }
 
 // Disk is a collection of named page spaces sharing one virtual clock.
+// The disk (and each Space) is safe for concurrent use; parallel partition
+// workers read and drop disjoint spaces, and the per-access cost charges
+// go to the lock-free clock.
 type Disk struct {
 	mu       sync.Mutex
 	clock    *cost.Clock
@@ -46,30 +50,28 @@ type Disk struct {
 	spaces   map[string]*Space
 
 	// Fault injection: when failAfter reaches zero, the next charged IO
-	// returns an error (tests drive operator error paths with this).
-	failAfter int64
-	failArmed bool
+	// returns an error (tests drive operator error paths with this). The
+	// armed flag keeps the common unarmed path free of the counter's
+	// cache line.
+	failAfter atomic.Int64
+	failArmed atomic.Bool
 }
 
 // FailAfter arms fault injection: the n-th subsequent charged IO operation
 // (1-based) fails with a synthetic device error. Uncharged accesses are
-// exempt. Pass a negative n to disarm.
+// exempt. Pass a negative n to disarm. Under parallel execution the
+// failing operation is whichever worker reaches the budget first.
 func (d *Disk) FailAfter(n int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.failArmed = n >= 0
-	d.failAfter = n
+	d.failAfter.Store(n)
+	d.failArmed.Store(n >= 0)
 }
 
 // tick consumes one charged IO and reports whether it should fail.
 func (d *Disk) tick() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if !d.failArmed {
+	if !d.failArmed.Load() {
 		return false
 	}
-	d.failAfter--
-	return d.failAfter < 0
+	return d.failAfter.Add(-1) < 0
 }
 
 // ErrInjected marks an injected device failure.

@@ -80,6 +80,14 @@ type Options struct {
 	// Params is the virtual-clock hardware model. Zero value means
 	// DefaultParams.
 	Params Params
+	// Parallelism bounds the worker goroutines the parallel operators
+	// (the partition phases of GRACE and hybrid hash joins, spilled hash
+	// aggregation) may use. 0 or 1 means serial execution, identical to
+	// the original single-goroutine engine; a negative value means one
+	// worker per CPU (GOMAXPROCS). Virtual time and operation counters
+	// are the same at every setting — parallelism trades wall-clock time
+	// only, never the paper's accounting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {

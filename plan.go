@@ -216,11 +216,12 @@ func (db *Database) buildPlannerQuery(q Query) (planner.Query, error) {
 		}
 	}
 	return planner.Query{
-		Tables:   tables,
-		Edges:    edges,
-		PageSize: db.opts.PageSize,
-		M:        db.opts.MemoryPages,
-		Params:   db.opts.Params,
-		W:        1,
+		Tables:      tables,
+		Edges:       edges,
+		PageSize:    db.opts.PageSize,
+		M:           db.opts.MemoryPages,
+		Params:      db.opts.Params,
+		W:           1,
+		Parallelism: db.opts.Parallelism,
 	}, nil
 }

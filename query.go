@@ -65,8 +65,9 @@ func (db *Database) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol
 	spec := join.Spec{
 		R: lr.File, S: rr.File,
 		RCol: lc, SCol: rc,
-		M: db.opts.MemoryPages,
-		F: db.opts.Params.F,
+		M:           db.opts.MemoryPages,
+		F:           db.opts.Params.F,
+		Parallelism: db.opts.Parallelism,
 	}
 	swapped := false
 	if spec.S.NumPages() < spec.R.NumPages() {
@@ -139,11 +140,12 @@ func (db *Database) Aggregate(relation, groupCol, valueCol string) ([]GroupRow, 
 		return nil, fmt.Errorf("mmdb: %s lacks column %q or %q", relation, groupCol, valueCol)
 	}
 	res, err := agg.Hash(agg.Spec{
-		Input:    r.File,
-		GroupCol: gc,
-		ValueCol: vc,
-		M:        db.opts.MemoryPages,
-		F:        db.opts.Params.F,
+		Input:       r.File,
+		GroupCol:    gc,
+		ValueCol:    vc,
+		M:           db.opts.MemoryPages,
+		F:           db.opts.Params.F,
+		Parallelism: db.opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -203,5 +205,5 @@ func (db *Database) Distinct(relation, column string) ([]Value, error) {
 	if col < 0 {
 		return nil, fmt.Errorf("mmdb: %s has no column %q", relation, column)
 	}
-	return agg.Distinct(r.File, col, db.opts.MemoryPages, db.opts.Params.F)
+	return agg.Distinct(r.File, col, db.opts.MemoryPages, db.opts.Params.F, db.opts.Parallelism)
 }
