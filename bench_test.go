@@ -1,4 +1,4 @@
-package mmdb
+package mmdb_test
 
 // One benchmark per table and figure of the paper. Each iteration
 // regenerates the corresponding experiment (at a reduced scale where the
@@ -7,6 +7,8 @@ package mmdb
 // EXPERIMENTS.md.
 
 import (
+	"mmdb"
+
 	"testing"
 	"time"
 
@@ -139,13 +141,13 @@ func BenchmarkPlanner(b *testing.B) {
 func BenchmarkRecoveryThroughput(b *testing.B) {
 	cases := []struct {
 		name string
-		cfg  RecoveryConfig
+		cfg  mmdb.RecoveryConfig
 	}{
-		{"flush-per-commit", RecoveryConfig{Policy: FlushPerCommit}},
-		{"group-commit", RecoveryConfig{Policy: GroupCommit}},
-		{"group-commit-4logs", RecoveryConfig{Policy: GroupCommit, LogDevices: 4, Terminals: 200}},
-		{"stable-memory", RecoveryConfig{Policy: StableMemoryCommit}},
-		{"stable-compressed", RecoveryConfig{Policy: StableMemoryCommit, CompressLog: true}},
+		{"flush-per-commit", mmdb.RecoveryConfig{Policy: mmdb.FlushPerCommit}},
+		{"group-commit", mmdb.RecoveryConfig{Policy: mmdb.GroupCommit}},
+		{"group-commit-4logs", mmdb.RecoveryConfig{Policy: mmdb.GroupCommit, LogDevices: 4, Terminals: 200}},
+		{"stable-memory", mmdb.RecoveryConfig{Policy: mmdb.StableMemoryCommit}},
+		{"stable-compressed", mmdb.RecoveryConfig{Policy: mmdb.StableMemoryCommit, CompressLog: true}},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
@@ -153,7 +155,7 @@ func BenchmarkRecoveryThroughput(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := tc.cfg
 				cfg.Seed = int64(i)
-				sim, err := NewRecoverySim(cfg)
+				sim, err := mmdb.NewRecoverySim(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -180,8 +182,8 @@ func BenchmarkAblations(b *testing.B) {
 // run (§5.3/§5.5).
 func BenchmarkCheckpointRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sim, err := NewRecoverySim(RecoveryConfig{
-			Policy:     GroupCommit,
+		sim, err := mmdb.NewRecoverySim(mmdb.RecoveryConfig{
+			Policy:     mmdb.GroupCommit,
 			Accounts:   4096,
 			Checkpoint: true,
 			Seed:       int64(i),

@@ -13,6 +13,7 @@
 //	mmdbench -exp planner             # §4 planning reduction
 //	mmdbench -exp recovery            # §5 throughput ladder
 //	mmdbench -exp checkpoint          # §5.3/§5.5 checkpoint sweep
+//	mmdbench -exp concurrency -clients 8   # multi-client contention ladder
 package main
 
 import (
@@ -25,10 +26,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency")
 	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
 	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
 	par := flag.Int("parallel", 1, "worker goroutines for executed join operators (1 = serial, -1 = GOMAXPROCS); virtual times are identical, wall time shrinks")
+	clients := flag.Int("clients", 8, "concurrency: top of the client ladder (runs 1,2,4,...,N)")
+	slots := flag.Int("slots", 8, "concurrency: MaxConcurrentQueries, held fixed across the ladder")
+	queue := flag.Int("queue", 64, "concurrency: admission queue depth")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -114,5 +118,21 @@ func main() {
 		}
 		res.Print(os.Stdout)
 		return nil
+	})
+	run("concurrency", func() error {
+		cfg := experiments.DefaultConcurrencyConfig()
+		cfg.Slots = *slots
+		cfg.QueueDepth = *queue
+		cfg.Clients = nil
+		for c := 1; c < *clients; c *= 2 {
+			cfg.Clients = append(cfg.Clients, c)
+		}
+		cfg.Clients = append(cfg.Clients, *clients)
+		res, err := experiments.RunConcurrency(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return res.WriteJSON("BENCH_concurrency.json")
 	})
 }

@@ -1,0 +1,359 @@
+package mmdb
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openConcurrentDB(t *testing.T, slots, queue int) *Database {
+	t.Helper()
+	db, err := Open(Options{
+		PageSize:             512,
+		MemoryPages:          64,
+		MaxConcurrentQueries: slots,
+		QueueDepth:           queue,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestConcurrentQueries runs many identical queries from parallel
+// goroutines. On the pre-session engine this was a data race (shared heap
+// cursors, one global clock); under -race it now must pass cleanly with
+// every query seeing the same result.
+func TestConcurrentQueries(t *testing.T) {
+	db := openConcurrentDB(t, 4, 64)
+	loadCompany(t, db, 600, 12)
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	matches := make([]int64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := db.Join(HybridHash, "emp", "dept", "dept", "id", nil)
+			errs[i] = err
+			matches[i] = res.Matches
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if matches[i] != 600 {
+			t.Fatalf("query %d: %d matches, want 600", i, matches[i])
+		}
+	}
+	m := db.SessionMetrics()
+	if m.Completed != n {
+		t.Fatalf("completed %d sessions, want %d", m.Completed, n)
+	}
+}
+
+// TestConcurrentMixedOperators interleaves joins, aggregates, sorts and
+// point lookups across goroutines — the full façade under -race.
+func TestConcurrentMixedOperators(t *testing.T) {
+	db := openConcurrentDB(t, 4, 64)
+	emp, _ := loadCompany(t, db, 400, 8)
+	if err := emp.CreateIndex("id", BTree); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	run := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		run(func() error {
+			_, err := db.Join(AutoJoin, "emp", "dept", "dept", "id", nil)
+			return err
+		})
+		run(func() error {
+			groups, err := db.Aggregate("emp", "dept", "salary")
+			if err == nil && len(groups) != 8 {
+				return errors.New("wrong group count")
+			}
+			return err
+		})
+		run(func() error {
+			rows := 0
+			err := db.OrderBy("emp", "salary", func(Tuple) bool { rows++; return true })
+			if err == nil && rows != 400 {
+				return errors.New("wrong sorted row count")
+			}
+			return err
+		})
+		run(func() error {
+			out, err := emp.Lookup("id", IntValue(7))
+			if err == nil && len(out) != 1 {
+				return errors.New("lookup miss")
+			}
+			return err
+		})
+	}
+	wg.Wait()
+}
+
+// TestConcurrentCountersMatchSerial is the determinism acceptance check:
+// with the static memory policy, N identical queries produce bit-identical
+// per-query virtual-clock results whether they run one at a time or all at
+// once, and the global clock totals agree too.
+func TestConcurrentCountersMatchSerial(t *testing.T) {
+	open := func() *Database {
+		db := openConcurrentDB(t, 4, 64)
+		loadCompany(t, db, 500, 10)
+		return db
+	}
+	query := func(db *Database) (JoinResult, error) {
+		return db.Join(HybridHash, "emp", "dept", "dept", "id", nil)
+	}
+
+	serial := open()
+	serial.ResetClock()
+	var want JoinResult
+	const n = 4
+	for i := 0; i < n; i++ {
+		res, err := query(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res
+		} else if res != want {
+			t.Fatalf("serial run %d diverged: %+v vs %+v", i, res, want)
+		}
+	}
+
+	conc := open()
+	conc.ResetClock()
+	var wg sync.WaitGroup
+	results := make([]JoinResult, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = query(conc)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != want {
+			t.Fatalf("concurrent run %d: %+v, want %+v", i, results[i], want)
+		}
+	}
+	if got, want := conc.Counters(), serial.Counters(); got != want {
+		t.Fatalf("global counters diverged: %+v vs %+v", got, want)
+	}
+	if got, want := conc.VirtualTime(), serial.VirtualTime(); got != want {
+		t.Fatalf("global virtual time diverged: %v vs %v", got, want)
+	}
+}
+
+// TestSessionBrokerNeverOverGrants floods the scheduler and asserts the
+// broker's invariant: simultaneous grants never exceed MemoryPages, and
+// everything is returned when the queries drain.
+func TestSessionBrokerNeverOverGrants(t *testing.T) {
+	db := openConcurrentDB(t, 4, 64)
+	loadCompany(t, db, 300, 6)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := db.Join(AutoJoin, "emp", "dept", "dept", "id", nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	m := db.SessionMetrics()
+	if m.PeakGrantedPages > m.MemoryPages {
+		t.Fatalf("broker over-granted: peak %d > |M| %d", m.PeakGrantedPages, m.MemoryPages)
+	}
+	if m.GrantedPages != 0 {
+		t.Fatalf("%d pages still out on grant after drain", m.GrantedPages)
+	}
+	if m.Grants < 16 {
+		t.Fatalf("only %d grants recorded", m.Grants)
+	}
+}
+
+// TestSessionOverloaded verifies backpressure: with one slot and no queue,
+// a second arrival is rejected with ErrOverloaded rather than blocking.
+func TestSessionOverloaded(t *testing.T) {
+	db := openConcurrentDB(t, 1, -1)
+	loadCompany(t, db, 100, 4)
+
+	s, err := db.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.NewSession(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second session: err=%v, want ErrOverloaded", err)
+	}
+	if _, err := db.Join(AutoJoin, "emp", "dept", "dept", "id", nil); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("query during held slot: err=%v, want ErrOverloaded", err)
+	}
+	s.Close()
+	if _, err := db.Join(AutoJoin, "emp", "dept", "dept", "id", nil); err != nil {
+		t.Fatalf("query after slot freed: %v", err)
+	}
+	if m := db.SessionMetrics(); m.Rejected != 2 {
+		t.Fatalf("rejected %d, want 2", m.Rejected)
+	}
+}
+
+// TestSessionQueueDeadline verifies a queued query abandons its wait when
+// its context deadline fires.
+func TestSessionQueueDeadline(t *testing.T) {
+	db := openConcurrentDB(t, 1, 8)
+	loadCompany(t, db, 100, 4)
+
+	s, err := db.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := db.JoinContext(ctx, AutoJoin, "emp", "dept", "dept", "id", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued query: err=%v, want DeadlineExceeded", err)
+	}
+}
+
+// TestSessionQueryTimeout verifies the Options-level deadline applies when
+// the caller's context has none.
+func TestSessionQueryTimeout(t *testing.T) {
+	db, err := Open(Options{
+		PageSize:             512,
+		MemoryPages:          64,
+		MaxConcurrentQueries: 1,
+		QueryTimeout:         20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadCompany(t, db, 100, 4)
+
+	s, err := db.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := db.Join(AutoJoin, "emp", "dept", "dept", "id", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out query: err=%v, want DeadlineExceeded", err)
+	}
+}
+
+// TestConcurrentWritersAndReaders races loads against queries: the
+// relation-level S/X intents must serialize them without deadlock and
+// every query must observe a consistent (fully loaded or fully absent)
+// batch.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	db := openConcurrentDB(t, 4, 64)
+	emp, dept := loadCompany(t, db, 200, 5)
+	_ = dept
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := int64(10000 + w*100 + i)
+				err := emp.Insert(IntValue(id), IntValue(id%5), IntValue(1234), StringValue("late"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := emp.Flush(); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := db.Join(AutoJoin, "emp", "dept", "dept", "id", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Matches < 200 {
+					t.Errorf("join saw %d matches, want >= 200", res.Matches)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res, err := db.Join(AutoJoin, "emp", "dept", "dept", "id", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 240 {
+		t.Fatalf("final join matches %d, want 240", res.Matches)
+	}
+}
+
+// TestConcurrentPlansExecute plans and executes multi-way joins from
+// parallel sessions, including materializing results.
+func TestConcurrentPlansExecute(t *testing.T) {
+	db := openConcurrentDB(t, 4, 64)
+	loadCompany(t, db, 300, 6)
+
+	q := Query{
+		Tables: []QueryTable{{Relation: "emp"}, {Relation: "dept"}},
+		Joins:  []QueryJoin{{LeftTable: 0, LeftCol: "dept", RightTable: 1, RightCol: "id"}},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := db.NewSession(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			plan, err := s.Plan(q, HashOnly)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out, err := plan.Execute()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if out.NumTuples() != 300 {
+				t.Errorf("plan produced %d tuples, want 300", out.NumTuples())
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -12,6 +12,7 @@ package agg
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"mmdb/internal/exec"
 	"mmdb/internal/hashjoin"
@@ -19,6 +20,10 @@ import (
 	"mmdb/internal/simio"
 	"mmdb/internal/tuple"
 )
+
+// spillSeq uniquifies spill-partition prefixes so two concurrent
+// aggregates over the same relation never collide on space names.
+var spillSeq atomic.Uint64
 
 // Func identifies an aggregate function.
 type Func int
@@ -214,7 +219,7 @@ func aggregate(spec Spec, in *heap.File, access simio.Access, level uint32, res 
 				flush = simio.Seq
 			}
 			parts, err = hashjoin.NewPartitioner(in.Disk(), clock, schema,
-				fmt.Sprintf("%s.agg%d", in.Name(), level), b, flush)
+				fmt.Sprintf("%s.agg%d.%d", in.Name(), level, spillSeq.Add(1)), b, flush)
 			if err != nil {
 				return false
 			}

@@ -5,7 +5,9 @@ package catalog
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"sync"
 
 	"mmdb/internal/avl"
 	"mmdb/internal/btree"
@@ -80,10 +82,15 @@ func (a avlIndex) Ascend(start []byte, fn func([]byte, tuple.Tuple) bool) {
 }
 func (a avlIndex) Len() int { return a.t.NumTuples() }
 
-// Relation is one cataloged table.
+// Relation is one cataloged table. The index and histogram registries are
+// guarded by an internal RW mutex so planners reading them race-free
+// against DDL building new ones; the heap file itself is protected by the
+// engine's relation-level S/X locks, not here.
 type Relation struct {
-	Name       string
-	File       *heap.File
+	Name string
+	File *heap.File
+
+	mu         sync.RWMutex
 	indexes    map[int]Index      // by column
 	histograms map[int]*Histogram // by column (see histogram.go)
 }
@@ -93,12 +100,16 @@ func (r *Relation) Schema() *tuple.Schema { return r.File.Schema() }
 
 // Index returns the index on col, if any.
 func (r *Relation) Index(col int) (Index, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	ix, ok := r.indexes[col]
 	return ix, ok
 }
 
 // IndexedColumns returns the indexed columns in ascending order.
 func (r *Relation) IndexedColumns() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var out []int
 	for c := range r.indexes {
 		out = append(out, c)
@@ -115,23 +126,55 @@ type Stats struct {
 	Distinct      map[int]int64 // distinct values per column (computed on demand)
 }
 
-// Catalog is the registry. Not safe for concurrent use.
-type Catalog struct {
-	disk *simio.Disk
+// shardCount is the number of independently locked registry stripes. Name
+// lookups hash to a stripe, so concurrent queries touching different
+// relations (and usually even the same one — lookups only take read locks)
+// never contend on a single catalog mutex.
+const shardCount = 16
+
+type catShard struct {
+	mu   sync.RWMutex
 	rels map[string]*Relation
+}
+
+// Catalog is the registry, sharded behind striped RW locks: safe for
+// concurrent lookups, creates, adopts and drops.
+type Catalog struct {
+	disk   *simio.Disk
+	shards [shardCount]catShard
 }
 
 // New creates an empty catalog on disk.
 func New(disk *simio.Disk) *Catalog {
-	return &Catalog{disk: disk, rels: make(map[string]*Relation)}
+	c := &Catalog{disk: disk}
+	for i := range c.shards {
+		c.shards[i].rels = make(map[string]*Relation)
+	}
+	return c
 }
 
 // Disk returns the underlying disk.
 func (c *Catalog) Disk() *simio.Disk { return c.disk }
 
+// ResourceID maps a relation name to the lock-table resource id used for
+// relation-level S/X intents. FNV-1a over the name: stable across runs, so
+// virtual-clock experiments that record lock traces stay reproducible.
+func ResourceID(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+func (c *Catalog) shardOf(name string) *catShard {
+	return &c.shards[ResourceID(name)%shardCount]
+}
+
 // Create registers a new empty relation.
 func (c *Catalog) Create(name string, schema *tuple.Schema) (*Relation, error) {
-	if _, ok := c.rels[name]; ok {
+	sh := c.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.rels[name]; ok {
 		return nil, fmt.Errorf("catalog: relation %q already exists", name)
 	}
 	f, err := heap.Create(c.disk, name, schema)
@@ -139,24 +182,30 @@ func (c *Catalog) Create(name string, schema *tuple.Schema) (*Relation, error) {
 		return nil, err
 	}
 	r := &Relation{Name: name, File: f, indexes: make(map[int]Index)}
-	c.rels[name] = r
+	sh.rels[name] = r
 	return r, nil
 }
 
 // Adopt registers an existing heap file (e.g. one produced by the workload
 // generator).
 func (c *Catalog) Adopt(f *heap.File) (*Relation, error) {
-	if _, ok := c.rels[f.Name()]; ok {
+	sh := c.shardOf(f.Name())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.rels[f.Name()]; ok {
 		return nil, fmt.Errorf("catalog: relation %q already exists", f.Name())
 	}
 	r := &Relation{Name: f.Name(), File: f, indexes: make(map[int]Index)}
-	c.rels[f.Name()] = r
+	sh.rels[f.Name()] = r
 	return r, nil
 }
 
 // Get looks a relation up.
 func (c *Catalog) Get(name string) (*Relation, error) {
-	r, ok := c.rels[name]
+	sh := c.shardOf(name)
+	sh.mu.RLock()
+	r, ok := sh.rels[name]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
 	}
@@ -166,8 +215,13 @@ func (c *Catalog) Get(name string) (*Relation, error) {
 // Names returns the registered relation names in sorted order.
 func (c *Catalog) Names() []string {
 	var out []string
-	for n := range c.rels {
-		out = append(out, n)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for n := range sh.rels {
+			out = append(out, n)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -175,12 +229,17 @@ func (c *Catalog) Names() []string {
 
 // Drop removes a relation and its storage.
 func (c *Catalog) Drop(name string) error {
-	r, ok := c.rels[name]
+	sh := c.shardOf(name)
+	sh.mu.Lock()
+	r, ok := sh.rels[name]
+	if ok {
+		delete(sh.rels, name)
+	}
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("catalog: relation %q does not exist", name)
 	}
 	r.File.Drop()
-	delete(c.rels, name)
 	return nil
 }
 
@@ -220,7 +279,9 @@ func (c *Catalog) BuildIndex(name string, col int, kind IndexKind) (Index, error
 	if err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
 	r.indexes[col] = ix
+	r.mu.Unlock()
 	return ix, nil
 }
 

@@ -144,15 +144,19 @@ func (c *Catalog) BuildHistogram(name string, col, buckets int) (*Histogram, err
 		h.Counts[h.bucketOf(v)]++
 		h.Total++
 	}
+	r.mu.Lock()
 	if r.histograms == nil {
 		r.histograms = make(map[int]*Histogram)
 	}
 	r.histograms[col] = h
+	r.mu.Unlock()
 	return h, nil
 }
 
 // Histogram returns the column's histogram, if one was built.
 func (r *Relation) Histogram(col int) (*Histogram, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	h, ok := r.histograms[col]
 	return h, ok
 }

@@ -176,6 +176,20 @@ func (c *Clock) Advance(d time.Duration) {
 	c.advanced.n.Add(int64(d))
 }
 
+// Charge merges a whole Counters batch into the clock — the session layer
+// uses it to fold a per-session clock's totals back into the database's
+// global clock at session close. Because counter addition commutes, a set
+// of sessions merged in any order yields the same global totals as the
+// serial run that charged the global clock directly.
+func (c *Clock) Charge(o Counters) {
+	c.charge(&c.comps, o.Comps)
+	c.charge(&c.hashes, o.Hashes)
+	c.charge(&c.moves, o.Moves)
+	c.charge(&c.swaps, o.Swaps)
+	c.charge(&c.seqIOs, o.SeqIOs)
+	c.charge(&c.randIOs, o.RandIOs)
+}
+
 // Comps charges n key comparisons.
 func (c *Clock) Comps(n int64) { c.charge(&c.comps, n) }
 

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mmdb"
+)
+
+// ConcurrencyConfig drives the multi-client contention experiment: a
+// closed-loop workload where each client runs the same hybrid-hash join
+// back to back, against an engine with a fixed number of execution slots.
+// Slots stay constant across the client ladder so the static memory broker
+// hands every query the identical grant — per-query virtual-clock results
+// are then bit-identical at every rung and only wall-clock throughput and
+// queueing change with load.
+type ConcurrencyConfig struct {
+	Clients          []int // ladder of concurrent client counts
+	Slots            int   // MaxConcurrentQueries, fixed across the ladder
+	QueueDepth       int   // admission queue bound
+	QueriesPerClient int
+	// ThinkTime is each client's pause between queries — the closed-loop
+	// terminal model of §5.1. It is what concurrent serving overlaps:
+	// with one client the engine idles during think time, with many it
+	// fills that idle time with other clients' queries, so throughput
+	// scales with clients until the CPU (or the slot count) saturates —
+	// even on a single-core host.
+	ThinkTime   time.Duration
+	Tuples      int // rows in the probe relation
+	Groups      int // rows in the build relation
+	MemoryPages int
+	PageSize    int
+}
+
+// DefaultConcurrencyConfig sizes the workload so a full ladder runs in a
+// few seconds of wall time.
+func DefaultConcurrencyConfig() ConcurrencyConfig {
+	return ConcurrencyConfig{
+		Clients:          []int{1, 2, 4, 8},
+		Slots:            8,
+		QueueDepth:       64,
+		QueriesPerClient: 8,
+		ThinkTime:        2 * time.Millisecond,
+		Tuples:           4000,
+		Groups:           40,
+		MemoryPages:      256,
+		PageSize:         1024,
+	}
+}
+
+// ConcurrencyRow is one rung of the client ladder.
+type ConcurrencyRow struct {
+	Clients      int           `json:"clients"`
+	Queries      int           `json:"queries"`
+	Wall         time.Duration `json:"wall_ns"`
+	Throughput   float64       `json:"queries_per_sec"`
+	QueuedP50    time.Duration `json:"queued_p50_ns"`
+	QueuedP95    time.Duration `json:"queued_p95_ns"`
+	QueuedMax    time.Duration `json:"queued_max_ns"`
+	GrantPages   int           `json:"grant_pages"`
+	PeakGranted  int           `json:"peak_granted_pages"`
+	RunningPeak  int           `json:"running_peak"`
+	QueuePeak    int           `json:"queue_peak"`
+	VirtualMatch bool          `json:"virtual_identical"` // per-query results identical to the 1-client run
+}
+
+// ConcurrencyResult is the full ladder plus the workload parameters.
+type ConcurrencyResult struct {
+	Config ConcurrencyConfig `json:"config"`
+	Rows   []ConcurrencyRow  `json:"rows"`
+}
+
+func loadConcurrencyDB(cfg ConcurrencyConfig) (*mmdb.Database, error) {
+	db, err := mmdb.Open(mmdb.Options{
+		PageSize:             cfg.PageSize,
+		MemoryPages:          cfg.MemoryPages,
+		MaxConcurrentQueries: cfg.Slots,
+		QueueDepth:           cfg.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	emp, err := db.CreateRelation("emp", mmdb.MustSchema(
+		mmdb.Field{Name: "id", Kind: mmdb.Int64},
+		mmdb.Field{Name: "dept", Kind: mmdb.Int64},
+		mmdb.Field{Name: "salary", Kind: mmdb.Int64},
+	))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Tuples; i++ {
+		err := emp.Insert(
+			mmdb.IntValue(int64(i)),
+			mmdb.IntValue(int64(i%cfg.Groups)),
+			mmdb.IntValue(int64(1000+i%700)),
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := emp.Flush(); err != nil {
+		return nil, err
+	}
+	dept, err := db.CreateRelation("dept", mmdb.MustSchema(
+		mmdb.Field{Name: "id", Kind: mmdb.Int64},
+		mmdb.Field{Name: "budget", Kind: mmdb.Int64},
+	))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Groups; i++ {
+		if err := dept.Insert(mmdb.IntValue(int64(i)), mmdb.IntValue(int64(i*10))); err != nil {
+			return nil, err
+		}
+	}
+	if err := dept.Flush(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RunConcurrency runs the client ladder. Every rung gets a fresh,
+// identically loaded engine so rungs are independent.
+func RunConcurrency(cfg ConcurrencyConfig) (*ConcurrencyResult, error) {
+	res := &ConcurrencyResult{Config: cfg}
+	var baseline *mmdb.JoinResult
+	for _, clients := range cfg.Clients {
+		db, err := loadConcurrencyDB(cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		total := clients * cfg.QueriesPerClient
+		queued := make([]time.Duration, 0, total)
+		joins := make([]mmdb.JoinResult, 0, total)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var firstErr error
+
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := 0; q < cfg.QueriesPerClient; q++ {
+					if cfg.ThinkTime > 0 {
+						time.Sleep(cfg.ThinkTime)
+					}
+					s, err := db.NewSession(context.Background())
+					if err == nil {
+						var jr mmdb.JoinResult
+						jr, err = s.Join(mmdb.HybridHash, "emp", "dept", "dept", "id", nil)
+						if err == nil {
+							mu.Lock()
+							queued = append(queued, s.QueuedFor())
+							joins = append(joins, jr)
+							mu.Unlock()
+						}
+						s.Close()
+					}
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		// Per-query virtual results must not depend on the client count.
+		identical := true
+		for i := range joins {
+			if baseline == nil {
+				jr := joins[i]
+				baseline = &jr
+				continue
+			}
+			if joins[i] != *baseline {
+				identical = false
+			}
+		}
+
+		sort.Slice(queued, func(i, j int) bool { return queued[i] < queued[j] })
+		m := db.SessionMetrics()
+		if m.PeakGrantedPages > m.MemoryPages {
+			return nil, fmt.Errorf("experiments: broker over-granted (%d > %d)", m.PeakGrantedPages, m.MemoryPages)
+		}
+		row := ConcurrencyRow{
+			Clients:      clients,
+			Queries:      total,
+			Wall:         wall,
+			Throughput:   float64(total) / wall.Seconds(),
+			QueuedP50:    percentile(queued, 0.50),
+			QueuedP95:    percentile(queued, 0.95),
+			QueuedMax:    m.QueuedMax,
+			GrantPages:   cfg.MemoryPages / cfg.Slots,
+			PeakGranted:  m.PeakGrantedPages,
+			RunningPeak:  m.RunningPeak,
+			QueuePeak:    m.QueuePeak,
+			VirtualMatch: identical,
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print writes the human-readable report.
+func (r *ConcurrencyResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Concurrent query serving — closed-loop join workload\n")
+	fmt.Fprintf(w, "(%d slots, %d-page |M| → %d-page static grants, %d queries/client, %s think time)\n\n",
+		r.Config.Slots, r.Config.MemoryPages, r.Config.MemoryPages/r.Config.Slots,
+		r.Config.QueriesPerClient, r.Config.ThinkTime)
+	fmt.Fprintf(w, "%8s %9s %12s %12s %12s %8s %10s\n",
+		"clients", "queries", "queries/s", "queued p50", "queued p95", "running", "identical")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d %9d %12.1f %12s %12s %8d %10v\n",
+			row.Clients, row.Queries, row.Throughput,
+			row.QueuedP50.Round(time.Microsecond), row.QueuedP95.Round(time.Microsecond),
+			row.RunningPeak, row.VirtualMatch)
+	}
+	if len(r.Rows) >= 2 {
+		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+		if first.Throughput > 0 {
+			fmt.Fprintf(w, "\nspeedup %d→%d clients: %.2fx\n",
+				first.Clients, last.Clients, last.Throughput/first.Throughput)
+		}
+	}
+}
+
+// WriteJSON writes the machine-readable result.
+func (r *ConcurrencyResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

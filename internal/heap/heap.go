@@ -53,6 +53,28 @@ func MustCreate(disk *simio.Disk, name string, schema *tuple.Schema) *File {
 // Schema returns the file's tuple schema.
 func (f *File) Schema() *tuple.Schema { return f.schema }
 
+// OnDisk returns a handle on the same heap file whose IO charges through d
+// — normally a View of the file's own disk (per-session cost accounting)
+// or the base disk when re-homing a session-produced file. Handles share
+// the page storage and the current append buffer; the caller must ensure
+// at most one handle mutates the file, and never concurrently with reads
+// through the others (the engine's relation-level S/X locks provide this).
+func (f *File) OnDisk(d *simio.Disk) (*File, error) {
+	space, err := d.Open(f.space.Name())
+	if err != nil {
+		return nil, err
+	}
+	return &File{
+		disk:    d,
+		space:   space,
+		schema:  f.schema,
+		cur:     f.cur,
+		buffer:  f.buffer,
+		flushed: f.flushed,
+		tuples:  f.tuples,
+	}, nil
+}
+
 // Disk returns the disk the file lives on.
 func (f *File) Disk() *simio.Disk { return f.disk }
 

@@ -1,0 +1,226 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Policy selects how the broker sizes default grants.
+type Policy int
+
+// Memory policies.
+const (
+	// StaticShare grants every query the same fixed share,
+	// total/slots (clamped to the minimum useful grant). Grants are
+	// independent of instantaneous load, which keeps planner choices and
+	// virtual-clock accounting bit-identical whether queries run serially
+	// or concurrently — the default, and the policy the determinism
+	// acceptance tests assert against.
+	StaticShare Policy = iota
+	// Greedy grants an admitted query all currently-free pages (at least
+	// the minimum grant). Adaptive — a lone query gets the whole |M|, a
+	// crowd divides it by arrival order — but grant sizes then depend on
+	// timing, so per-query virtual costs are only reproducible for
+	// serial workloads.
+	Greedy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case StaticShare:
+		return "static"
+	case Greedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// MinGrant is the smallest memory grant the broker will hand out: the
+// engine needs at least two pages (one input, one output) for any §3
+// operator to make progress.
+const MinGrant = 2
+
+// Broker partitions a fixed budget of memory pages into per-query grants.
+// Reservations queue FIFO when the budget is exhausted; the invariant
+// granted <= total holds at all times (checked, with a high-water mark for
+// audits). It is safe for concurrent use.
+type Broker struct {
+	total  int
+	share  int // StaticShare grant size
+	policy Policy
+
+	mu     sync.Mutex
+	free   int
+	peak   int // high-water mark of granted pages
+	grants uint64
+	queue  []*memWaiter
+}
+
+type memWaiter struct {
+	need  int // pages that must be free before this waiter can be granted
+	want  int // 0 means policy default
+	ready chan int
+}
+
+// NewBroker returns a broker over total pages serving at most slots
+// concurrent queries under the given policy. The static share is
+// total/slots, clamped up to MinGrant and down to total.
+func NewBroker(total, slots int, policy Policy) *Broker {
+	if total < MinGrant {
+		total = MinGrant
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	share := total / slots
+	if share < MinGrant {
+		share = MinGrant
+	}
+	if share > total {
+		share = total
+	}
+	return &Broker{total: total, share: share, policy: policy, free: total}
+}
+
+// Total returns the brokered budget |M|.
+func (b *Broker) Total() int { return b.total }
+
+// Share returns the StaticShare grant size.
+func (b *Broker) Share() int { return b.share }
+
+// Policy returns the grant policy.
+func (b *Broker) Policy() Policy { return b.policy }
+
+// Reserve blocks until a grant is available and returns its size in
+// pages. want == 0 requests the policy default; want > 0 requests an
+// explicit size (clamped to [MinGrant, total]) — the path used when a
+// pre-optimized plan must execute with the |M| it was costed against.
+// Waiters are served strictly FIFO; a waiter whose context ends while
+// queued is removed without a grant.
+func (b *Broker) Reserve(ctx context.Context, want int) (int, error) {
+	if want > b.total {
+		want = b.total
+	}
+	if want != 0 && want < MinGrant {
+		want = MinGrant
+	}
+	b.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		b.mu.Unlock()
+		return 0, err
+	}
+	need := b.needFor(want)
+	if len(b.queue) == 0 && b.free >= need {
+		grant := b.grantLocked(want)
+		b.mu.Unlock()
+		return grant, nil
+	}
+	w := &memWaiter{need: need, want: want, ready: make(chan int, 1)}
+	b.queue = append(b.queue, w)
+	b.mu.Unlock()
+
+	select {
+	case grant := <-w.ready:
+		return grant, nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		select {
+		case grant := <-w.ready:
+			// Granted concurrently with cancellation: keep the grant so
+			// the pages are returned exactly once, via the caller's
+			// Release.
+			b.mu.Unlock()
+			return grant, nil
+		default:
+		}
+		for i, q := range b.queue {
+			if q == w {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				break
+			}
+		}
+		b.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// needFor returns the free pages required before a request can be granted.
+func (b *Broker) needFor(want int) int {
+	if want > 0 {
+		return want
+	}
+	if b.policy == Greedy {
+		return MinGrant
+	}
+	return b.share
+}
+
+// grantLocked carves the grant out of the free pool.
+func (b *Broker) grantLocked(want int) int {
+	grant := want
+	if grant == 0 {
+		if b.policy == Greedy {
+			grant = b.free // everything currently free
+		} else {
+			grant = b.share
+		}
+	}
+	if grant > b.free {
+		// Unreachable by construction (need <= grant checked before the
+		// grant); guard the invariant anyway.
+		panic(fmt.Sprintf("session: broker over-grant: want %d, free %d", grant, b.free))
+	}
+	b.free -= grant
+	b.grants++
+	if used := b.total - b.free; used > b.peak {
+		b.peak = used
+	}
+	return grant
+}
+
+// Release returns a grant to the pool and serves eligible queued waiters
+// in FIFO order (the head blocks later arrivals even if they would fit —
+// no starvation).
+func (b *Broker) Release(pages int) {
+	if pages == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.free += pages
+	if b.free > b.total {
+		panic(fmt.Sprintf("session: broker released more than granted: free %d > total %d", b.free, b.total))
+	}
+	for len(b.queue) > 0 {
+		w := b.queue[0]
+		if b.free < w.need {
+			return
+		}
+		b.queue = b.queue[1:]
+		w.ready <- b.grantLocked(w.want)
+	}
+}
+
+// Granted returns the pages currently out on grant.
+func (b *Broker) Granted() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - b.free
+}
+
+// Peak returns the high-water mark of pages simultaneously granted; it can
+// never exceed Total.
+func (b *Broker) Peak() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}
+
+// Grants returns the count of grants issued.
+func (b *Broker) Grants() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.grants
+}

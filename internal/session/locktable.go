@@ -1,0 +1,146 @@
+package session
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mmdb/internal/lock"
+	"mmdb/internal/wal"
+)
+
+// LockTable makes the §5.2 lock manager usable from concurrent goroutines.
+// The underlying lock.Manager is single-threaded by design (the recovery
+// simulator drives it from its event loop); this façade serializes all
+// mutations behind one mutex and converts the manager's callback-style
+// grants into blocking waits with context cancellation.
+//
+// Sessions take Shared intents on every relation a query reads; loads and
+// DDL take Exclusive intents. Because it is the same lock machinery, a
+// grant still carries the pre-committed dependency list of §5.2 — a query
+// admitted after a pre-committed writer released its lock learns which
+// transactions its answer depends on.
+type LockTable struct {
+	mu  sync.Mutex
+	m   *lock.Manager
+	ids atomic.Uint64 // session/DDL transaction ids, disjoint per table
+}
+
+// NewLockTable returns a façade over a fresh lock manager.
+func NewLockTable() *LockTable {
+	return &LockTable{m: lock.NewManager()}
+}
+
+// NextID allocates a fresh transaction id for a session or a one-shot DDL
+// operation.
+func (t *LockTable) NextID() wal.TxnID {
+	return wal.TxnID(t.ids.Add(1))
+}
+
+// Acquire takes the lock on res in the given mode for txn, blocking FIFO
+// behind incompatible holders. It returns the pre-committed transactions
+// the grant depends on. If ctx ends first, the queued request (and every
+// lock txn holds) is released and the context error returned — a canceled
+// session aborts wholesale, it does not keep partial lock sets.
+func (t *LockTable) Acquire(ctx context.Context, txn wal.TxnID, res uint64, mode lock.Mode) ([]wal.TxnID, error) {
+	ch := make(chan []wal.TxnID, 1)
+	t.mu.Lock()
+	granted := t.m.Acquire(txn, res, mode, func(deps []wal.TxnID) {
+		ch <- deps
+	})
+	t.mu.Unlock()
+	if granted {
+		return <-ch, nil
+	}
+	select {
+	case deps := <-ch:
+		return deps, nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		select {
+		case deps := <-ch:
+			// Granted concurrently with cancellation: keep the grant;
+			// the caller decides whether to proceed or Release.
+			t.mu.Unlock()
+			return deps, nil
+		default:
+		}
+		t.m.ReleaseAll(txn)
+		t.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// AcquireAll takes the locks on every resource in ascending id order (the
+// canonical order that keeps multi-relation queries deadlock-free) and
+// returns the union of pre-commit dependencies, deduplicated and sorted.
+func (t *LockTable) AcquireAll(ctx context.Context, txn wal.TxnID, resources []uint64, mode lock.Mode) ([]wal.TxnID, error) {
+	rs := append([]uint64(nil), resources...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	depSet := make(map[wal.TxnID]struct{})
+	for i, res := range rs {
+		if i > 0 && res == rs[i-1] {
+			continue
+		}
+		deps, err := t.Acquire(ctx, txn, res, mode)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			depSet[d] = struct{}{}
+		}
+	}
+	out := make([]wal.TxnID, 0, len(depSet))
+	for d := range depSet {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Release drops every lock and queued request of txn (the query-completion
+// and abort path).
+func (t *LockTable) Release(txn wal.TxnID) {
+	t.mu.Lock()
+	t.m.ReleaseAll(txn)
+	t.mu.Unlock()
+}
+
+// PreCommit moves txn's holds to the pre-committed state, granting
+// eligible waiters with a dependency on txn (the §5.2 group-commit path).
+func (t *LockTable) PreCommit(txn wal.TxnID) {
+	t.mu.Lock()
+	t.m.PreCommit(txn)
+	t.mu.Unlock()
+}
+
+// Finish removes a durably committed (or fully aborted) txn from all
+// pre-committed lists.
+func (t *LockTable) Finish(txn wal.TxnID) {
+	t.mu.Lock()
+	t.m.Finish(txn)
+	t.mu.Unlock()
+}
+
+// Holders reports the current holders of res (for tests and
+// introspection).
+func (t *LockTable) Holders(res uint64) []wal.TxnID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m.Holders(res)
+}
+
+// Waiting reports the queued transactions on res in FIFO order.
+func (t *LockTable) Waiting(res uint64) []wal.TxnID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m.Waiting(res)
+}
+
+// CheckInvariants verifies the underlying lock table's consistency.
+func (t *LockTable) CheckInvariants() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m.CheckInvariants()
+}

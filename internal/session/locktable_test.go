@@ -1,0 +1,171 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"mmdb/internal/lock"
+	"mmdb/internal/wal"
+)
+
+func TestSessionLockTableSharedCompatible(t *testing.T) {
+	lt := NewLockTable()
+	const res = 7
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			txn := lt.NextID()
+			if _, err := lt.Acquire(context.Background(), txn, res, lock.Shared); err != nil {
+				t.Error(err)
+				return
+			}
+			lt.Release(txn)
+		}()
+	}
+	wg.Wait()
+	if err := lt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h := lt.Holders(res); len(h) != 0 {
+		t.Fatalf("leaked holders %v", h)
+	}
+}
+
+func TestSessionLockTableExclusiveBlocksAndFIFO(t *testing.T) {
+	lt := NewLockTable()
+	const res = 1
+	writer := lt.NextID()
+	if _, err := lt.Acquire(context.Background(), writer, res, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Queue readers behind the writer; they must all be granted together
+	// after release, in wait-queue order.
+	const readers = 4
+	order := make(chan wal.TxnID, readers)
+	var txns []wal.TxnID
+	for i := 0; i < readers; i++ {
+		txn := lt.NextID()
+		txns = append(txns, txn)
+		go func() {
+			if _, err := lt.Acquire(context.Background(), txn, res, lock.Shared); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- txn
+		}()
+		waitFor(t, func() bool { return len(lt.Waiting(res)) == i+1 })
+	}
+	lt.Release(writer)
+	seen := make(map[wal.TxnID]bool)
+	for i := 0; i < readers; i++ {
+		seen[<-order] = true
+	}
+	for _, txn := range txns {
+		if !seen[txn] {
+			t.Fatalf("reader %d never granted", txn)
+		}
+		lt.Release(txn)
+	}
+	if err := lt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionLockTablePreCommitDependencies(t *testing.T) {
+	lt := NewLockTable()
+	const res = 3
+	writer := lt.NextID()
+	if _, err := lt.Acquire(context.Background(), writer, res, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	reader := lt.NextID()
+	got := make(chan []wal.TxnID, 1)
+	go func() {
+		deps, err := lt.Acquire(context.Background(), reader, res, lock.Shared)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- deps
+	}()
+	waitFor(t, func() bool { return len(lt.Waiting(res)) == 1 })
+	// Pre-commit (not release): the reader is granted with a dependency on
+	// the not-yet-durable writer, per §5.2.
+	lt.PreCommit(writer)
+	deps := <-got
+	if len(deps) != 1 || deps[0] != writer {
+		t.Fatalf("deps = %v, want [%d]", deps, writer)
+	}
+	lt.Finish(writer)
+	lt.Release(reader)
+	if err := lt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionLockTableCancelWhileWaiting(t *testing.T) {
+	lt := NewLockTable()
+	const res = 9
+	holder := lt.NextID()
+	if _, err := lt.Acquire(context.Background(), holder, res, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := lt.NextID()
+	done := make(chan error, 1)
+	go func() {
+		_, err := lt.Acquire(ctx, waiter, res, lock.Exclusive)
+		done <- err
+	}()
+	waitFor(t, func() bool { return len(lt.Waiting(res)) == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected Canceled, got %v", err)
+	}
+	if w := lt.Waiting(res); len(w) != 0 {
+		t.Fatalf("canceled waiter still queued: %v", w)
+	}
+	lt.Release(holder)
+	if err := lt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockTableRacingMixedModes stresses racing S/X acquisition across
+// goroutines and resources under the race detector.
+func TestSessionLockTableRacingMixedModes(t *testing.T) {
+	lt := NewLockTable()
+	resources := []uint64{1, 2, 3}
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				txn := lt.NextID()
+				mode := lock.Shared
+				if (g+i)%3 == 0 {
+					mode = lock.Exclusive
+				}
+				if _, err := lt.AcquireAll(context.Background(), txn, resources, mode); err != nil {
+					t.Error(err)
+					return
+				}
+				lt.Release(txn)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := lt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range resources {
+		if h := lt.Holders(res); len(h) != 0 {
+			t.Fatalf("resource %d leaked holders %v", res, h)
+		}
+	}
+}

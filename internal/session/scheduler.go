@@ -1,0 +1,204 @@
+// Package session implements the concurrent query-serving layer: an
+// admission scheduler that bounds how many queries execute at once, a
+// memory broker that partitions the engine's |M| pages into per-query
+// grants, and a concurrency façade over the §5.2 lock table.
+//
+// The paper's cost model (§3, §4) prices every operator against the pages
+// of main memory it may use. Serving many queries at once therefore means
+// |M| must be *brokered*: each admitted query receives a grant, plans and
+// executes against that grant, and returns it on completion. The scheduler
+// bounds concurrency (slots) and queue depth so that overload degrades
+// into FIFO queueing and then explicit rejection (ErrOverloaded) instead
+// of memory thrash.
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded is returned when a query cannot even be queued: all
+// execution slots are busy and the wait queue is at its configured depth.
+var ErrOverloaded = errors.New("session: overloaded: admission queue full")
+
+// ErrClosed is returned when admitting against a closed scheduler.
+var ErrClosed = errors.New("session: scheduler closed")
+
+// Metrics counts scheduler activity. Queued durations are wall-clock
+// observations for operators; they never touch the virtual clock.
+type Metrics struct {
+	Admitted    uint64        // queries granted a slot
+	Rejected    uint64        // queries turned away with ErrOverloaded
+	Canceled    uint64        // queries whose context ended while queued
+	Completed   uint64        // slots released
+	QueuedTotal time.Duration // total wall time spent waiting for a slot
+	QueuedMax   time.Duration // longest single wait
+	QueuePeak   int           // high-water mark of the wait queue
+	RunningPeak int           // high-water mark of concurrently running queries
+}
+
+// Scheduler is a FIFO admission controller with bounded slots and a
+// bounded wait queue. It is safe for concurrent use.
+type Scheduler struct {
+	slots int
+	depth int
+
+	mu      sync.Mutex
+	closed  bool
+	running int
+	queue   []*admitWaiter
+	m       Metrics
+}
+
+type admitWaiter struct {
+	ready   chan struct{}
+	granted bool // set under Scheduler.mu before ready is closed
+}
+
+// NewScheduler returns a scheduler with the given concurrency slots and
+// wait-queue depth. slots < 1 is treated as 1. depth < 0 means no queue
+// (reject as soon as the slots are busy); depth == 0 is also a valid
+// no-queue configuration — callers wanting a default should pass one
+// explicitly.
+func NewScheduler(slots, depth int) *Scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &Scheduler{slots: slots, depth: depth}
+}
+
+// Slots returns the configured concurrency bound.
+func (s *Scheduler) Slots() int { return s.slots }
+
+// QueueDepth returns the configured wait-queue bound.
+func (s *Scheduler) QueueDepth() int { return s.depth }
+
+// Admit blocks until a slot is free (FIFO among waiters), the context is
+// done, or the queue is full. It returns the wall time spent queued. Every
+// successful Admit must be paired with exactly one Done.
+func (s *Scheduler) Admit(ctx context.Context) (time.Duration, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		s.m.Canceled++
+		s.mu.Unlock()
+		return 0, err
+	}
+	if s.running < s.slots && len(s.queue) == 0 {
+		s.running++
+		s.m.Admitted++
+		if s.running > s.m.RunningPeak {
+			s.m.RunningPeak = s.running
+		}
+		s.mu.Unlock()
+		return 0, nil
+	}
+	if len(s.queue) >= s.depth {
+		s.m.Rejected++
+		s.mu.Unlock()
+		return 0, ErrOverloaded
+	}
+	w := &admitWaiter{ready: make(chan struct{})}
+	s.queue = append(s.queue, w)
+	if len(s.queue) > s.m.QueuePeak {
+		s.m.QueuePeak = len(s.queue)
+	}
+	s.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-w.ready:
+		queued := time.Since(start)
+		s.mu.Lock()
+		s.m.QueuedTotal += queued
+		if queued > s.m.QueuedMax {
+			s.m.QueuedMax = queued
+		}
+		s.mu.Unlock()
+		return queued, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// The slot was handed to us concurrently with cancellation:
+			// keep it — the caller still gets a usable admission, and the
+			// context error surfaces on the next cancellation point.
+			queued := time.Since(start)
+			s.m.QueuedTotal += queued
+			if queued > s.m.QueuedMax {
+				s.m.QueuedMax = queued
+			}
+			s.mu.Unlock()
+			return queued, nil
+		}
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.m.Canceled++
+		s.mu.Unlock()
+		return time.Since(start), ctx.Err()
+	}
+}
+
+// Done releases a slot and wakes the head of the wait queue.
+func (s *Scheduler) Done() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	s.m.Completed++
+	s.wakeLocked()
+}
+
+// wakeLocked grants slots to queue heads while capacity remains.
+func (s *Scheduler) wakeLocked() {
+	for s.running < s.slots && len(s.queue) > 0 {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.running++
+		s.m.Admitted++
+		if s.running > s.m.RunningPeak {
+			s.m.RunningPeak = s.running
+		}
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// Close rejects all future admissions. Queued waiters are left to drain
+// normally as running queries complete.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Metrics returns a snapshot of scheduler activity.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}
+
+// Running returns the number of currently executing queries.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Queued returns the number of queries waiting for a slot.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

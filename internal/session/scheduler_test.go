@@ -1,0 +1,127 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSessionSchedulerAdmitAndOverload(t *testing.T) {
+	s := NewScheduler(2, 1)
+	if _, err := s.Admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Slots full; one waiter fits the queue, the next must be rejected.
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(context.Background())
+		done <- err
+	}()
+	waitFor(t, func() bool { return s.Queued() == 1 })
+	if _, err := s.Admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expected ErrOverloaded, got %v", err)
+	}
+	s.Done()
+	if err := <-done; err != nil {
+		t.Fatalf("queued admission failed: %v", err)
+	}
+	m := s.Metrics()
+	if m.Admitted != 3 || m.Rejected != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestSessionSchedulerFIFO(t *testing.T) {
+	s := NewScheduler(1, 16)
+	if _, err := s.Admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	order := make(chan int, waiters)
+	var started sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		started.Add(1)
+		go func() {
+			// Serialize queue entry so FIFO order is deterministic.
+			started.Done()
+			if _, err := s.Admit(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			s.Done()
+		}()
+		waitFor(t, func() bool { return s.Queued() == i+1 })
+	}
+	started.Wait()
+	s.Done() // release the initial slot; waiters drain in queue order
+	for want := 0; want < waiters; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("FIFO violated: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestSessionSchedulerCancelWhileQueued(t *testing.T) {
+	s := NewScheduler(1, 4)
+	if _, err := s.Admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx)
+		done <- err
+	}()
+	waitFor(t, func() bool { return s.Queued() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if s.Queued() != 0 {
+		t.Fatalf("canceled waiter still queued")
+	}
+	// The slot is still usable and the canceled waiter never consumed it.
+	s.Done()
+	if _, err := s.Admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionSchedulerDeadline(t *testing.T) {
+	s := NewScheduler(1, 4)
+	if _, err := s.Admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.Admit(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestSessionSchedulerClose(t *testing.T) {
+	s := NewScheduler(1, 4)
+	s.Close()
+	if _, err := s.Admit(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -43,11 +43,24 @@ func (a Access) String() string {
 // The disk (and each Space) is safe for concurrent use; parallel partition
 // workers read and drop disjoint spaces, and the per-access cost charges
 // go to the lock-free clock.
+//
+// A Disk value is a *view* onto shared page storage: View returns a second
+// handle on the same spaces that charges a different clock. The session
+// layer gives every admitted query its own view + clock, which is what
+// keeps per-query counters bit-identical under concurrency — each query's
+// charges land on its private clock and are merged into the global one at
+// session close.
 type Disk struct {
+	store *diskStore
+	clock *cost.Clock
+}
+
+// diskStore is the storage shared by every view of one disk: the space
+// registry and the device-level fault-injection state.
+type diskStore struct {
 	mu       sync.Mutex
-	clock    *cost.Clock
 	pageSize int
-	spaces   map[string]*Space
+	spaces   map[string]*spaceData
 
 	// Fault injection: when failAfter reaches zero, the next charged IO
 	// returns an error (tests drive operator error paths with this). The
@@ -60,18 +73,19 @@ type Disk struct {
 // FailAfter arms fault injection: the n-th subsequent charged IO operation
 // (1-based) fails with a synthetic device error. Uncharged accesses are
 // exempt. Pass a negative n to disarm. Under parallel execution the
-// failing operation is whichever worker reaches the budget first.
+// failing operation is whichever worker reaches the budget first. The
+// fault arm is device state, shared by all views of the disk.
 func (d *Disk) FailAfter(n int64) {
-	d.failAfter.Store(n)
-	d.failArmed.Store(n >= 0)
+	d.store.failAfter.Store(n)
+	d.store.failArmed.Store(n >= 0)
 }
 
 // tick consumes one charged IO and reports whether it should fail.
-func (d *Disk) tick() bool {
-	if !d.failArmed.Load() {
+func (st *diskStore) tick() bool {
+	if !st.failArmed.Load() {
 		return false
 	}
-	return d.failAfter.Add(-1) < 0
+	return st.failAfter.Add(-1) < 0
 }
 
 // ErrInjected marks an injected device failure.
@@ -83,28 +97,38 @@ func NewDisk(clock *cost.Clock, pageSize int) *Disk {
 		panic("simio: page size must be positive")
 	}
 	return &Disk{
-		clock:    clock,
-		pageSize: pageSize,
-		spaces:   make(map[string]*Space),
+		clock: clock,
+		store: &diskStore{
+			pageSize: pageSize,
+			spaces:   make(map[string]*spaceData),
+		},
 	}
 }
 
+// View returns a handle on the same page storage that charges all IO to
+// clock instead of the disk's own clock. Spaces created or opened through
+// the view live in the shared registry (names are global), but their
+// charged accesses land on the view's clock.
+func (d *Disk) View(clock *cost.Clock) *Disk {
+	return &Disk{store: d.store, clock: clock}
+}
+
 // PageSize returns the disk's page size in bytes.
-func (d *Disk) PageSize() int { return d.pageSize }
+func (d *Disk) PageSize() int { return d.store.pageSize }
 
 // Clock returns the clock the disk charges to.
 func (d *Disk) Clock() *cost.Clock { return d.clock }
 
 // Create makes a new empty space. It fails if the name is taken.
 func (d *Disk) Create(name string) (*Space, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.spaces[name]; ok {
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	if _, ok := d.store.spaces[name]; ok {
 		return nil, fmt.Errorf("simio: space %q already exists", name)
 	}
-	s := &Space{name: name, disk: d}
-	d.spaces[name] = s
-	return s, nil
+	data := &spaceData{}
+	d.store.spaces[name] = data
+	return &Space{name: name, disk: d, data: data}, nil
 }
 
 // MustCreate is Create that panics on error.
@@ -116,42 +140,52 @@ func (d *Disk) MustCreate(name string) *Space {
 	return s
 }
 
-// Open returns an existing space.
+// Open returns an existing space. The returned handle charges IO through
+// d's clock, so opening one space through two views yields handles that
+// share pages but charge different clocks.
 func (d *Disk) Open(name string) (*Space, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	s, ok := d.spaces[name]
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	data, ok := d.store.spaces[name]
 	if !ok {
 		return nil, fmt.Errorf("simio: space %q does not exist", name)
 	}
-	return s, nil
+	return &Space{name: name, disk: d, data: data}, nil
 }
 
 // Remove deletes a space and releases its pages.
 func (d *Disk) Remove(name string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.spaces, name)
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	delete(d.store.spaces, name)
 }
 
 // Spaces returns the names of all spaces in sorted order.
 func (d *Disk) Spaces() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	names := make([]string, 0, len(d.spaces))
-	for n := range d.spaces {
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	names := make([]string, 0, len(d.store.spaces))
+	for n := range d.store.spaces {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Space is a file of fixed-size pages.
-type Space struct {
+// spaceData is the page storage shared by all handles on one space.
+type spaceData struct {
 	mu    sync.Mutex
-	name  string
-	disk  *Disk
 	pages [][]byte
+}
+
+// Space is a file of fixed-size pages. A Space handle is bound to the disk
+// view it was created or opened through; its charged accesses go to that
+// view's clock while the page data itself is shared with every other
+// handle on the same name.
+type Space struct {
+	name string
+	disk *Disk
+	data *spaceData
 }
 
 // Name returns the space name.
@@ -159,48 +193,48 @@ func (s *Space) Name() string { return s.name }
 
 // NumPages returns the number of pages in the space.
 func (s *Space) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pages)
+	s.data.mu.Lock()
+	defer s.data.mu.Unlock()
+	return len(s.data.pages)
 }
 
 // Append writes data as a new page at the end of the space and returns its
 // page number. The data is copied; short data is zero padded.
 func (s *Space) Append(data []byte, a Access) (int, error) {
-	if len(data) > s.disk.pageSize {
-		return 0, fmt.Errorf("simio: page data %d bytes exceeds page size %d", len(data), s.disk.pageSize)
+	if len(data) > s.disk.store.pageSize {
+		return 0, fmt.Errorf("simio: page data %d bytes exceeds page size %d", len(data), s.disk.store.pageSize)
 	}
 	if err := s.charge(a); err != nil {
 		return 0, err
 	}
-	p := make([]byte, s.disk.pageSize)
+	p := make([]byte, s.disk.store.pageSize)
 	copy(p, data)
-	s.mu.Lock()
-	s.pages = append(s.pages, p)
-	n := len(s.pages) - 1
-	s.mu.Unlock()
+	s.data.mu.Lock()
+	s.data.pages = append(s.data.pages, p)
+	n := len(s.data.pages) - 1
+	s.data.mu.Unlock()
 	return n, nil
 }
 
 // Write overwrites page n in place.
 func (s *Space) Write(n int, data []byte, a Access) error {
-	if len(data) > s.disk.pageSize {
-		return fmt.Errorf("simio: page data %d bytes exceeds page size %d", len(data), s.disk.pageSize)
+	if len(data) > s.disk.store.pageSize {
+		return fmt.Errorf("simio: page data %d bytes exceeds page size %d", len(data), s.disk.store.pageSize)
 	}
 	if err := s.charge(a); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	if n < 0 || n >= len(s.pages) {
-		s.mu.Unlock()
-		return fmt.Errorf("simio: write to page %d of %q (have %d pages)", n, s.name, len(s.pages))
+	s.data.mu.Lock()
+	if n < 0 || n >= len(s.data.pages) {
+		s.data.mu.Unlock()
+		return fmt.Errorf("simio: write to page %d of %q (have %d pages)", n, s.name, len(s.data.pages))
 	}
-	p := s.pages[n]
+	p := s.data.pages[n]
 	copy(p, data)
 	for i := len(data); i < len(p); i++ {
 		p[i] = 0
 	}
-	s.mu.Unlock()
+	s.data.mu.Unlock()
 	return nil
 }
 
@@ -209,27 +243,27 @@ func (s *Space) Read(n int, a Access) ([]byte, error) {
 	if err := s.charge(a); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	if n < 0 || n >= len(s.pages) {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("simio: read of page %d of %q (have %d pages)", n, s.name, len(s.pages))
+	s.data.mu.Lock()
+	if n < 0 || n >= len(s.data.pages) {
+		s.data.mu.Unlock()
+		return nil, fmt.Errorf("simio: read of page %d of %q (have %d pages)", n, s.name, len(s.data.pages))
 	}
-	out := append([]byte(nil), s.pages[n]...)
-	s.mu.Unlock()
+	out := append([]byte(nil), s.data.pages[n]...)
+	s.data.mu.Unlock()
 	return out, nil
 }
 
 // Truncate drops all pages, leaving an empty space.
 func (s *Space) Truncate() {
-	s.mu.Lock()
-	s.pages = nil
-	s.mu.Unlock()
+	s.data.mu.Lock()
+	s.data.pages = nil
+	s.data.mu.Unlock()
 }
 
 func (s *Space) charge(a Access) error {
 	switch a {
 	case Seq, Rand:
-		if s.disk.tick() {
+		if s.disk.store.tick() {
 			return fmt.Errorf("simio: %s IO on %q: %w", a, s.name, ErrInjected)
 		}
 		if a == Seq {

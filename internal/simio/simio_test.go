@@ -21,8 +21,12 @@ func TestCreateOpenRemove(t *testing.T) {
 		t.Fatal("duplicate create accepted")
 	}
 	got, err := d.Open("a")
-	if err != nil || got != s {
+	if err != nil {
 		t.Fatalf("open: %v", err)
+	}
+	// Open returns a fresh handle sharing the same page storage.
+	if got.data != s.data || got.Name() != s.Name() {
+		t.Fatalf("open returned a handle on different storage")
 	}
 	if _, err := d.Open("missing"); err == nil {
 		t.Fatal("open of missing space succeeded")

@@ -24,12 +24,15 @@
 package mmdb
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"mmdb/internal/catalog"
 	"mmdb/internal/cost"
 	"mmdb/internal/heap"
+	"mmdb/internal/lock"
+	"mmdb/internal/session"
 	"mmdb/internal/simio"
 	"mmdb/internal/tuple"
 )
@@ -88,7 +91,41 @@ type Options struct {
 	// are the same at every setting — parallelism trades wall-clock time
 	// only, never the paper's accounting.
 	Parallelism int
+
+	// MaxConcurrentQueries bounds how many admitted queries may execute
+	// simultaneously (the scheduler's slots). 0 means 1: queries are
+	// admitted one at a time, which preserves the original serial
+	// engine's behavior exactly — including whole-|M| memory grants —
+	// while already making concurrent callers safe.
+	MaxConcurrentQueries int
+	// QueueDepth bounds how many queries may wait for a slot before new
+	// arrivals are rejected with ErrOverloaded. 0 means 64; negative
+	// means no queue (reject as soon as all slots are busy).
+	QueueDepth int
+	// MemoryPolicy selects how the broker sizes per-query memory grants
+	// out of MemoryPages. The default, MemoryStatic, gives every query
+	// MemoryPages/MaxConcurrentQueries — deterministic, so per-query
+	// virtual-clock accounting is bit-identical however queries overlap.
+	// MemoryGreedy adapts grants to instantaneous load instead.
+	MemoryPolicy MemoryPolicy
+	// QueryTimeout, when positive, bounds each session's total time
+	// (queueing included) unless its context already carries an earlier
+	// deadline.
+	QueryTimeout time.Duration
 }
+
+// MemoryPolicy selects the broker's grant sizing (see Options).
+type MemoryPolicy = session.Policy
+
+// Memory policies.
+const (
+	MemoryStatic = session.StaticShare
+	MemoryGreedy = session.Greedy
+)
+
+// ErrOverloaded is returned when a query cannot even be queued: all
+// execution slots are busy and the admission queue is full.
+var ErrOverloaded = session.ErrOverloaded
 
 func (o Options) withDefaults() Options {
 	if o.PageSize == 0 {
@@ -100,16 +137,31 @@ func (o Options) withDefaults() Options {
 	if o.Params == (Params{}) {
 		o.Params = cost.DefaultParams()
 	}
+	if o.MaxConcurrentQueries == 0 {
+		o.MaxConcurrentQueries = 1
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
 	return o
 }
 
 // Database is a main-memory relational database with simulated IO cost
-// accounting. Not safe for concurrent use.
+// accounting. It is safe for concurrent use: queries pass through an
+// admission scheduler (bounded slots plus a FIFO wait queue), receive a
+// memory grant brokered out of MemoryPages, and take relation-level
+// shared intents through the §5.2 lock table, while loads and DDL take
+// exclusive intents. With the default Options the scheduler admits one
+// query at a time, which reproduces the original serial engine's
+// accounting exactly.
 type Database struct {
-	opts  Options
-	clock *cost.Clock
-	disk  *simio.Disk
-	cat   *catalog.Catalog
+	opts   Options
+	clock  *cost.Clock
+	disk   *simio.Disk
+	cat    *catalog.Catalog
+	sched  *session.Scheduler
+	broker *session.Broker
+	locks  *session.LockTable
 }
 
 // Open creates an empty database.
@@ -124,13 +176,23 @@ func Open(opts Options) (*Database, error) {
 	if opts.MemoryPages < 2 {
 		return nil, fmt.Errorf("mmdb: need at least 2 memory pages")
 	}
+	if opts.MaxConcurrentQueries < 0 {
+		return nil, fmt.Errorf("mmdb: MaxConcurrentQueries %d must be positive", opts.MaxConcurrentQueries)
+	}
 	clock := cost.NewClock(opts.Params)
 	disk := simio.NewDisk(clock, opts.PageSize)
+	depth := opts.QueueDepth
+	if depth < 0 {
+		depth = 0
+	}
 	return &Database{
-		opts:  opts,
-		clock: clock,
-		disk:  disk,
-		cat:   catalog.New(disk),
+		opts:   opts,
+		clock:  clock,
+		disk:   disk,
+		cat:    catalog.New(disk),
+		sched:  session.NewScheduler(opts.MaxConcurrentQueries, depth),
+		broker: session.NewBroker(opts.MemoryPages, opts.MaxConcurrentQueries, opts.MemoryPolicy),
+		locks:  session.NewLockTable(),
 	}, nil
 }
 
@@ -179,8 +241,16 @@ func (db *Database) Relation(name string) (*Relation, error) {
 // Relations lists all relation names.
 func (db *Database) Relations() []string { return db.cat.Names() }
 
-// DropRelation removes a relation and its storage.
-func (db *Database) DropRelation(name string) error { return db.cat.Drop(name) }
+// DropRelation removes a relation and its storage, waiting for in-flight
+// queries over it to drain (an exclusive relation intent).
+func (db *Database) DropRelation(name string) error {
+	unlock, err := db.lockRelations(context.Background(), lock.Exclusive, name)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return db.cat.Drop(name)
+}
 
 // adoptFile registers an internally produced heap file (for tests and the
 // workload generators).
@@ -190,4 +260,60 @@ func (db *Database) adoptFile(f *heap.File) (*Relation, error) {
 		return nil, err
 	}
 	return &Relation{db: db, rel: r}, nil
+}
+
+// lockRelations takes a one-shot relation-level intent lock on every named
+// relation (in canonical resource order, to stay deadlock-free) and
+// returns the release func. Queries take lock.Shared; loads and DDL take
+// lock.Exclusive.
+func (db *Database) lockRelations(ctx context.Context, mode lock.Mode, names ...string) (func(), error) {
+	txn := db.locks.NextID()
+	resources := make([]uint64, len(names))
+	for i, n := range names {
+		resources[i] = catalog.ResourceID(n)
+	}
+	if _, err := db.locks.AcquireAll(ctx, txn, resources, mode); err != nil {
+		return nil, err
+	}
+	return func() { db.locks.Release(txn) }, nil
+}
+
+// SessionMetrics reports the admission scheduler's and memory broker's
+// activity counters: how many queries were admitted, rejected and
+// completed, wall time spent queued, and the grant accounting (the peak
+// can never exceed MemoryPages — the broker's no-over-grant invariant).
+type SessionMetrics struct {
+	Admitted    uint64
+	Rejected    uint64
+	Canceled    uint64
+	Completed   uint64
+	QueuedTotal time.Duration
+	QueuedMax   time.Duration
+	QueuePeak   int
+	RunningPeak int
+
+	MemoryPages      int    // the brokered budget |M|
+	GrantedPages     int    // pages currently out on grant
+	PeakGrantedPages int    // high-water mark of simultaneous grants
+	Grants           uint64 // grants issued so far
+}
+
+// SessionMetrics returns a snapshot of scheduler and broker activity.
+func (db *Database) SessionMetrics() SessionMetrics {
+	m := db.sched.Metrics()
+	return SessionMetrics{
+		Admitted:    m.Admitted,
+		Rejected:    m.Rejected,
+		Canceled:    m.Canceled,
+		Completed:   m.Completed,
+		QueuedTotal: m.QueuedTotal,
+		QueuedMax:   m.QueuedMax,
+		QueuePeak:   m.QueuePeak,
+		RunningPeak: m.RunningPeak,
+
+		MemoryPages:      db.broker.Total(),
+		GrantedPages:     db.broker.Granted(),
+		PeakGrantedPages: db.broker.Peak(),
+		Grants:           db.broker.Grants(),
+	}
 }

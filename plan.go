@@ -1,9 +1,12 @@
 package mmdb
 
 import (
+	"context"
 	"fmt"
 
+	"mmdb/internal/lock"
 	"mmdb/internal/planner"
+	"mmdb/internal/simio"
 )
 
 // QueryTable names a relation participating in a planned query, with an
@@ -48,6 +51,7 @@ const (
 // QueryPlan is an optimized plan ready to execute.
 type QueryPlan struct {
 	db    *Database
+	sess  *Session // non-nil when planned within a session
 	query planner.Query
 	plan  *planner.Plan
 
@@ -63,13 +67,21 @@ type QueryPlan struct {
 	StatesExplored, PlansConsidered int
 }
 
-// Plan optimizes the query under the given mode with W=1.
+// Plan optimizes the query under the given mode with W=1, costing against
+// the database's full MemoryPages (the serial path). For contention-aware
+// planning use Session.Plan, which costs against the session's grant.
 func (db *Database) Plan(q Query, mode PlanMode) (*QueryPlan, error) {
-	pq, err := db.buildPlannerQuery(q)
+	pq, err := db.buildPlannerQuery(q, db.opts.MemoryPages, nil)
 	if err != nil {
 		return nil, err
 	}
+	return db.finishPlan(pq, mode, nil)
+}
+
+// finishPlan runs the optimizer over a resolved planner query.
+func (db *Database) finishPlan(pq planner.Query, mode PlanMode, sess *Session) (*QueryPlan, error) {
 	var p *planner.Plan
+	var err error
 	switch mode {
 	case FullSelinger:
 		p, err = planner.Optimize(pq)
@@ -83,6 +95,7 @@ func (db *Database) Plan(q Query, mode PlanMode) (*QueryPlan, error) {
 	}
 	qp := &QueryPlan{
 		db:              db,
+		sess:            sess,
 		query:           pq,
 		plan:            p,
 		EstimatedCPU:    p.CPU,
@@ -97,7 +110,45 @@ func (db *Database) Plan(q Query, mode PlanMode) (*QueryPlan, error) {
 
 // Execute runs the plan and materializes the joined result as a new
 // relation named like "plan.join.N"; it returns the handle.
+//
+// A plan produced by Session.Plan executes within its session: it is
+// already admitted, holds its relation intents, and runs against its
+// memory grant on its private clock. A plan produced by Database.Plan
+// admits a one-shot execution slot, takes shared intents on its tables,
+// and reserves the full |M| it was costed against before running.
 func (qp *QueryPlan) Execute() (*Relation, error) {
+	if qp.sess != nil {
+		out, err := planner.Execute(qp.query, qp.plan)
+		if err != nil {
+			return nil, err
+		}
+		// Re-home the materialized result onto the base disk so later
+		// queries over it charge the global clock, then register it.
+		based, err := out.OnDisk(qp.db.disk)
+		if err != nil {
+			return nil, err
+		}
+		return qp.db.adoptFile(based)
+	}
+	ctx := context.Background()
+	if _, err := qp.db.sched.Admit(ctx); err != nil {
+		return nil, err
+	}
+	defer qp.db.sched.Done()
+	granted, err := qp.db.broker.Reserve(ctx, qp.query.M)
+	if err != nil {
+		return nil, err
+	}
+	defer qp.db.broker.Release(granted)
+	names := make([]string, len(qp.query.Tables))
+	for i, t := range qp.query.Tables {
+		names[i] = t.Name
+	}
+	unlock, err := qp.db.lockRelations(ctx, lock.Shared, names...)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
 	out, err := planner.Execute(qp.query, qp.plan)
 	if err != nil {
 		return nil, err
@@ -106,8 +157,11 @@ func (qp *QueryPlan) Execute() (*Relation, error) {
 }
 
 // buildPlannerQuery resolves names against the catalog and computes the
-// statistics the optimizer needs (distinct join-key counts).
-func (db *Database) buildPlannerQuery(q Query) (planner.Query, error) {
+// statistics the optimizer needs (distinct join-key counts). The planner
+// sees m as its |M| — the session's grant, or the global MemoryPages on
+// the serial path — and, when view is non-nil, per-session heap-file
+// views whose IO charges the session clock.
+func (db *Database) buildPlannerQuery(q Query, m int, view *simio.Disk) (planner.Query, error) {
 	if len(q.Tables) == 0 {
 		return planner.Query{}, fmt.Errorf("mmdb: query with no tables")
 	}
@@ -204,6 +258,13 @@ func (db *Database) buildPlannerQuery(q Query) (planner.Query, error) {
 		if sel == 0 {
 			sel = 1
 		}
+		file := rel.File
+		if view != nil {
+			file, err = rel.File.OnDisk(view)
+			if err != nil {
+				return planner.Query{}, err
+			}
+		}
 		tables[i] = planner.Table{
 			Name:          qt.Relation,
 			Tuples:        stats.Tuples,
@@ -212,14 +273,14 @@ func (db *Database) buildPlannerQuery(q Query) (planner.Query, error) {
 			Selectivity:   sel,
 			Distinct:      distinct,
 			Filter:        filter,
-			Rel:           planner.ExecSource{File: rel.File, ClassCols: classCols},
+			Rel:           planner.ExecSource{File: file, ClassCols: classCols},
 		}
 	}
 	return planner.Query{
 		Tables:      tables,
 		Edges:       edges,
 		PageSize:    db.opts.PageSize,
-		M:           db.opts.MemoryPages,
+		M:           m,
 		Params:      db.opts.Params,
 		W:           1,
 		Parallelism: db.opts.Parallelism,

@@ -1,14 +1,12 @@
 package mmdb
 
 import (
-	"fmt"
+	"context"
 	"sync/atomic"
 	"time"
 
 	"mmdb/internal/agg"
-	"mmdb/internal/extsort"
 	"mmdb/internal/join"
-	"mmdb/internal/simio"
 )
 
 // JoinAlgorithm selects one of the §3 join implementations.
@@ -36,67 +34,37 @@ type JoinResult struct {
 	Partitions int
 }
 
+// withSession runs fn inside a one-shot admitted session: the path behind
+// every Database-level query method. With the default options (one slot,
+// whole-|M| grants) this reproduces the serial engine exactly while making
+// concurrent callers safe; with MaxConcurrentQueries > 1 the calls
+// interleave under brokered memory.
+func (db *Database) withSession(ctx context.Context, fn func(s *Session) error) error {
+	s, err := db.NewSession(ctx)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return fn(s)
+}
+
 // Join runs an equijoin between two relations, streaming joined pairs to
 // emit (pass nil to count only). The smaller relation is used as the build
 // side automatically.
 func (db *Database) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple)) (JoinResult, error) {
-	lr, err := db.cat.Get(left)
-	if err != nil {
-		return JoinResult{}, err
-	}
-	rr, err := db.cat.Get(right)
-	if err != nil {
-		return JoinResult{}, err
-	}
-	lc := lr.Schema().FieldIndex(leftCol)
-	if lc < 0 {
-		return JoinResult{}, fmt.Errorf("mmdb: %s has no column %q", left, leftCol)
-	}
-	rc := rr.Schema().FieldIndex(rightCol)
-	if rc < 0 {
-		return JoinResult{}, fmt.Errorf("mmdb: %s has no column %q", right, rightCol)
-	}
-	if algorithm == AutoJoin {
-		// §4: with one hash algorithm dominating and no order
-		// sensitivity, algorithm choice is trivial.
-		algorithm = HybridHash
-	}
+	return db.JoinContext(context.Background(), algorithm, left, right, leftCol, rightCol, emit)
+}
 
-	spec := join.Spec{
-		R: lr.File, S: rr.File,
-		RCol: lc, SCol: rc,
-		M:           db.opts.MemoryPages,
-		F:           db.opts.Params.F,
-		Parallelism: db.opts.Parallelism,
-	}
-	swapped := false
-	if spec.S.NumPages() < spec.R.NumPages() {
-		spec.R, spec.S = spec.S, spec.R
-		spec.RCol, spec.SCol = spec.SCol, spec.RCol
-		swapped = true
-	}
-	var wrapped join.Emit
-	if emit != nil {
-		wrapped = func(r, s Tuple) {
-			if swapped {
-				emit(s, r)
-			} else {
-				emit(r, s)
-			}
-		}
-	}
-	res, err := join.Run(algorithm, spec, wrapped)
-	if err != nil {
-		return JoinResult{}, err
-	}
-	return JoinResult{
-		Algorithm:  res.Algorithm,
-		Matches:    res.Matches,
-		Counters:   res.Counters,
-		Elapsed:    res.Elapsed,
-		Passes:     res.Passes,
-		Partitions: res.Partitions,
-	}, nil
+// JoinContext is Join honoring ctx for admission queueing, lock waits and
+// the per-query deadline.
+func (db *Database) JoinContext(ctx context.Context, algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple)) (JoinResult, error) {
+	var res JoinResult
+	err := db.withSession(ctx, func(s *Session) error {
+		var err error
+		res, err = s.Join(algorithm, left, right, leftCol, rightCol, emit)
+		return err
+	})
+	return res, err
 }
 
 // AggFunc selects an aggregate function.
@@ -129,32 +97,19 @@ func (g GroupRow) Value(f AggFunc) float64 {
 // column, grouped by groupCol, using the §3.9 one-pass hashing algorithm
 // (spilling hybrid-style if the result exceeds memory).
 func (db *Database) Aggregate(relation, groupCol, valueCol string) ([]GroupRow, error) {
-	r, err := db.cat.Get(relation)
-	if err != nil {
-		return nil, err
-	}
-	schema := r.Schema()
-	gc := schema.FieldIndex(groupCol)
-	vc := schema.FieldIndex(valueCol)
-	if gc < 0 || vc < 0 {
-		return nil, fmt.Errorf("mmdb: %s lacks column %q or %q", relation, groupCol, valueCol)
-	}
-	res, err := agg.Hash(agg.Spec{
-		Input:       r.File,
-		GroupCol:    gc,
-		ValueCol:    vc,
-		M:           db.opts.MemoryPages,
-		F:           db.opts.Params.F,
-		Parallelism: db.opts.Parallelism,
+	return db.AggregateContext(context.Background(), relation, groupCol, valueCol)
+}
+
+// AggregateContext is Aggregate honoring ctx for admission queueing, lock
+// waits and the per-query deadline.
+func (db *Database) AggregateContext(ctx context.Context, relation, groupCol, valueCol string) ([]GroupRow, error) {
+	var out []GroupRow
+	err := db.withSession(ctx, func(s *Session) error {
+		var err error
+		out, err = s.Aggregate(relation, groupCol, valueCol)
+		return err
 	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]GroupRow, len(res.Groups))
-	for i, g := range res.Groups {
-		out[i] = GroupRow(g)
-	}
-	return out, nil
+	return out, err
 }
 
 // OrderBy streams the relation's rows in ascending order of the named
@@ -162,34 +117,9 @@ func (db *Database) Aggregate(relation, groupCol, valueCol string) ([]GroupRow, 
 // an n-way merge) within the database's memory budget. Run IO is charged
 // on the virtual clock exactly as in the sort-merge join.
 func (db *Database) OrderBy(relation, column string, fn func(Tuple) bool) error {
-	r, err := db.cat.Get(relation)
-	if err != nil {
-		return err
-	}
-	col := r.Schema().FieldIndex(column)
-	if col < 0 {
-		return fmt.Errorf("mmdb: %s has no column %q", relation, column)
-	}
-	capacity := int(float64(db.opts.MemoryPages) * float64(r.File.TuplesPerPage()) / db.opts.Params.F)
-	if capacity < 2 {
-		capacity = 2
-	}
-	fanout := db.opts.MemoryPages
-	stream, _, err := extsort.Sort(r.File, col, capacity, fanout,
-		fmt.Sprintf("orderby.%s.%d", relation, orderBySeq.Add(1)), simio.Uncharged)
-	if err != nil {
-		return err
-	}
-	for {
-		t, ok := stream.Next()
-		if !ok {
-			break
-		}
-		if !fn(t) {
-			break
-		}
-	}
-	return stream.Err()
+	return db.withSession(context.Background(), func(s *Session) error {
+		return s.OrderBy(relation, column, fn)
+	})
 }
 
 var orderBySeq atomic.Uint64
@@ -197,13 +127,11 @@ var orderBySeq atomic.Uint64
 // Distinct returns the distinct values of a column (§3.9 projection with
 // duplicate elimination).
 func (db *Database) Distinct(relation, column string) ([]Value, error) {
-	r, err := db.cat.Get(relation)
-	if err != nil {
-		return nil, err
-	}
-	col := r.Schema().FieldIndex(column)
-	if col < 0 {
-		return nil, fmt.Errorf("mmdb: %s has no column %q", relation, column)
-	}
-	return agg.Distinct(r.File, col, db.opts.MemoryPages, db.opts.Params.F, db.opts.Parallelism)
+	var out []Value
+	err := db.withSession(context.Background(), func(s *Session) error {
+		var err error
+		out, err = s.Distinct(relation, column)
+		return err
+	})
+	return out, err
 }

@@ -1,9 +1,11 @@
 package mmdb
 
 import (
+	"context"
 	"fmt"
 
 	"mmdb/internal/catalog"
+	"mmdb/internal/lock"
 	"mmdb/internal/simio"
 	"mmdb/internal/tuple"
 )
@@ -25,6 +27,19 @@ type Relation struct {
 
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.rel.Name }
+
+// withIntent runs fn holding a one-shot relation-level intent: Shared for
+// reads, Exclusive for mutations and index builds. This is what lets
+// loads and point operations interleave safely with admitted queries —
+// a query's shared intent holds off a concurrent Rewrite, and vice versa.
+func (r *Relation) withIntent(mode lock.Mode, fn func() error) error {
+	unlock, err := r.db.lockRelations(context.Background(), mode, r.Name())
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return fn()
+}
 
 // Schema returns the relation schema.
 func (r *Relation) Schema() *Schema { return r.rel.Schema() }
@@ -48,26 +63,32 @@ func (r *Relation) Insert(values ...Value) error {
 
 // InsertTuple appends an encoded row, maintaining any indexes.
 func (r *Relation) InsertTuple(t Tuple) error {
-	if err := r.rel.File.Append(t, simio.Uncharged); err != nil {
-		return err
-	}
-	schema := r.Schema()
-	for _, col := range r.rel.IndexedColumns() {
-		ix, _ := r.rel.Index(col)
-		ix.Insert(schema.KeyBytes(t, col), t.Clone())
-	}
-	return nil
+	return r.withIntent(lock.Exclusive, func() error {
+		if err := r.rel.File.Append(t, simio.Uncharged); err != nil {
+			return err
+		}
+		schema := r.Schema()
+		for _, col := range r.rel.IndexedColumns() {
+			ix, _ := r.rel.Index(col)
+			ix.Insert(schema.KeyBytes(t, col), t.Clone())
+		}
+		return nil
+	})
 }
 
 // Flush writes any buffered partial page.
 func (r *Relation) Flush() error {
-	return r.rel.File.Flush(simio.Uncharged)
+	return r.withIntent(lock.Exclusive, func() error {
+		return r.rel.File.Flush(simio.Uncharged)
+	})
 }
 
 // Scan iterates all tuples in storage order until fn returns false. The
 // scan charges sequential IO per page, like the paper's case-2 access.
 func (r *Relation) Scan(fn func(Tuple) bool) error {
-	return r.rel.File.Scan(simio.Seq, fn)
+	return r.withIntent(lock.Shared, func() error {
+		return r.rel.File.Scan(simio.Seq, fn)
+	})
 }
 
 // CreateIndex builds an index on the named column.
@@ -76,8 +97,10 @@ func (r *Relation) CreateIndex(column string, kind IndexKind) error {
 	if col < 0 {
 		return fmt.Errorf("mmdb: relation %q has no column %q", r.Name(), column)
 	}
-	_, err := r.db.cat.BuildIndex(r.Name(), col, kind)
-	return err
+	return r.withIntent(lock.Exclusive, func() error {
+		_, err := r.db.cat.BuildIndex(r.Name(), col, kind)
+		return err
+	})
 }
 
 // Lookup returns all rows whose column equals v, using an index when one
@@ -94,21 +117,23 @@ func (r *Relation) Lookup(column string, v Value) ([]Tuple, error) {
 		return nil, err
 	}
 	key := schema.KeyBytes(probe, col)
-	if ix, ok := r.rel.Index(col); ok {
-		out := ix.Search(key)
-		// Charge one comparison per level-equivalent; the indexes count
-		// their own comparisons internally for the Table 1 experiments,
-		// while engine-level lookups charge the clock here.
-		r.db.clock.Comps(int64(len(out) + 1))
-		return out, nil
-	}
 	var out []Tuple
-	err := r.rel.File.Scan(simio.Seq, func(t tuple.Tuple) bool {
-		r.db.clock.Comps(1)
-		if schema.CompareField(t, probe, col) == 0 {
-			out = append(out, t.Clone())
+	err := r.withIntent(lock.Shared, func() error {
+		if ix, ok := r.rel.Index(col); ok {
+			out = ix.Search(key)
+			// Charge one comparison per level-equivalent; the indexes count
+			// their own comparisons internally for the Table 1 experiments,
+			// while engine-level lookups charge the clock here.
+			r.db.clock.Comps(int64(len(out) + 1))
+			return nil
 		}
-		return true
+		return r.rel.File.Scan(simio.Seq, func(t tuple.Tuple) bool {
+			r.db.clock.Comps(1)
+			if schema.CompareField(t, probe, col) == 0 {
+				out = append(out, t.Clone())
+			}
+			return true
+		})
 	})
 	return out, err
 }
@@ -126,22 +151,24 @@ func (r *Relation) Delete(column string, v Value) (int64, error) {
 		return 0, err
 	}
 	var removed int64
-	err := r.rel.File.Rewrite(func(t tuple.Tuple) (tuple.Tuple, bool) {
-		if schema.CompareField(t, probe, col) == 0 {
-			removed++
-			return nil, false
+	err := r.withIntent(lock.Exclusive, func() error {
+		err := r.rel.File.Rewrite(func(t tuple.Tuple) (tuple.Tuple, bool) {
+			if schema.CompareField(t, probe, col) == 0 {
+				removed++
+				return nil, false
+			}
+			return t, true
+		})
+		if err != nil {
+			removed = 0
+			return err
 		}
-		return t, true
+		if removed > 0 {
+			return r.rebuildIndexes()
+		}
+		return nil
 	})
-	if err != nil {
-		return 0, err
-	}
-	if removed > 0 {
-		if err := r.rebuildIndexes(); err != nil {
-			return removed, err
-		}
-	}
-	return removed, nil
+	return removed, err
 }
 
 // Update sets setColumn to newVal on every row whose column equals v,
@@ -158,31 +185,33 @@ func (r *Relation) Update(column string, v Value, setColumn string, newVal Value
 		return 0, err
 	}
 	var changed int64
-	var setErr error
-	err := r.rel.File.Rewrite(func(t tuple.Tuple) (tuple.Tuple, bool) {
-		if schema.CompareField(t, probe, col) != 0 {
-			return t, true
+	err := r.withIntent(lock.Exclusive, func() error {
+		var setErr error
+		err := r.rel.File.Rewrite(func(t tuple.Tuple) (tuple.Tuple, bool) {
+			if schema.CompareField(t, probe, col) != 0 {
+				return t, true
+			}
+			out := t.Clone()
+			if err := schema.Set(out, setCol, newVal); err != nil && setErr == nil {
+				setErr = err
+				return t, true
+			}
+			changed++
+			return out, true
+		})
+		if err == nil {
+			err = setErr
 		}
-		out := t.Clone()
-		if err := schema.Set(out, setCol, newVal); err != nil && setErr == nil {
-			setErr = err
-			return t, true
+		if err != nil {
+			changed = 0
+			return err
 		}
-		changed++
-		return out, true
+		if changed > 0 {
+			return r.rebuildIndexes()
+		}
+		return nil
 	})
-	if err != nil {
-		return 0, err
-	}
-	if setErr != nil {
-		return 0, setErr
-	}
-	if changed > 0 {
-		if err := r.rebuildIndexes(); err != nil {
-			return changed, err
-		}
-	}
-	return changed, nil
+	return changed, err
 }
 
 func (r *Relation) rebuildIndexes() error {
@@ -203,16 +232,18 @@ func (r *Relation) AscendRange(column string, start Value, fn func(Tuple) bool) 
 	if col < 0 {
 		return fmt.Errorf("mmdb: relation %q has no column %q", r.Name(), column)
 	}
-	ix, ok := r.rel.Index(col)
-	if !ok {
-		return fmt.Errorf("mmdb: no index on %s.%s (range scans need one)", r.Name(), column)
-	}
 	probe := make(Tuple, schema.Width())
 	if err := schema.Set(probe, col, start); err != nil {
 		return err
 	}
-	ix.Ascend(schema.KeyBytes(probe, col), func(_ []byte, t tuple.Tuple) bool {
-		return fn(t)
+	return r.withIntent(lock.Shared, func() error {
+		ix, ok := r.rel.Index(col)
+		if !ok {
+			return fmt.Errorf("mmdb: no index on %s.%s (range scans need one)", r.Name(), column)
+		}
+		ix.Ascend(schema.KeyBytes(probe, col), func(_ []byte, t tuple.Tuple) bool {
+			return fn(t)
+		})
+		return nil
 	})
-	return nil
 }

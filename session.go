@@ -1,0 +1,304 @@
+package mmdb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mmdb/internal/agg"
+	"mmdb/internal/catalog"
+	"mmdb/internal/cost"
+	"mmdb/internal/extsort"
+	"mmdb/internal/heap"
+	"mmdb/internal/join"
+	"mmdb/internal/lock"
+	"mmdb/internal/simio"
+	"mmdb/internal/wal"
+)
+
+// Session is one admitted query context: a scheduler slot, a memory grant
+// carved out of the database's MemoryPages, relation-level shared intents
+// taken as relations are referenced, and a private virtual clock.
+//
+// Every operator a session runs consumes the *granted* |M| — so the §3
+// algorithm behavior (hybrid staying resident, GRACE partitioning, sort
+// fan-in) and the §4 planner choices stay faithful to the cost model under
+// contention — and charges the session clock, keeping per-query counters
+// bit-identical however many sessions run at once. Close releases the
+// slot, the grant and the locks, and folds the session's counters into
+// the database's global clock.
+//
+// A Session is not itself safe for concurrent use: it represents one
+// query stream. Open many sessions for concurrency.
+type Session struct {
+	db      *Database
+	txn     wal.TxnID
+	clock   *cost.Clock
+	view    *simio.Disk
+	granted int
+	queued  time.Duration
+	cancel  context.CancelFunc
+	ctx     context.Context
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewSession admits a query context: it waits for a scheduler slot (FIFO,
+// honoring ctx cancellation and deadlines, rejecting with ErrOverloaded
+// when the wait queue is full) and reserves a memory grant. Close must be
+// called when the session's queries are done.
+func (db *Database) NewSession(ctx context.Context) (*Session, error) {
+	var cancel context.CancelFunc
+	if db.opts.QueryTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			ctx, cancel = context.WithTimeout(ctx, db.opts.QueryTimeout)
+		}
+	}
+	queued, err := db.sched.Admit(ctx)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	granted, err := db.broker.Reserve(ctx, 0)
+	if err != nil {
+		db.sched.Done()
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	clock := cost.NewClock(db.opts.Params)
+	return &Session{
+		db:      db,
+		txn:     db.locks.NextID(),
+		clock:   clock,
+		view:    db.disk.View(clock),
+		granted: granted,
+		queued:  queued,
+		cancel:  cancel,
+		ctx:     ctx,
+	}, nil
+}
+
+// Close releases the session's locks, memory grant and scheduler slot and
+// merges its virtual-clock counters into the database's global clock.
+// Close is idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.db.locks.Release(s.txn)
+	s.db.broker.Release(s.granted)
+	s.db.sched.Done()
+	s.db.clock.Charge(s.clock.Counters())
+	if s.cancel != nil {
+		s.cancel()
+	}
+}
+
+// GrantedPages returns the session's memory grant (its |M|).
+func (s *Session) GrantedPages() int { return s.granted }
+
+// QueuedFor returns the wall time the session waited for admission.
+func (s *Session) QueuedFor() time.Duration { return s.queued }
+
+// Counters returns the operations this session has charged so far.
+func (s *Session) Counters() Counters { return s.clock.Counters() }
+
+// VirtualTime returns the session's elapsed virtual time.
+func (s *Session) VirtualTime() time.Duration { return s.clock.Now() }
+
+// lockAndView takes shared intents on the named relations (canonical
+// order) and returns their catalog entries plus per-session heap-file
+// views charging the session clock.
+func (s *Session) lockAndView(names ...string) ([]*catalog.Relation, []*heap.File, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("mmdb: session is closed")
+	}
+	s.mu.Unlock()
+	resources := make([]uint64, len(names))
+	for i, n := range names {
+		resources[i] = catalog.ResourceID(n)
+	}
+	if _, err := s.db.locks.AcquireAll(s.ctx, s.txn, resources, lock.Shared); err != nil {
+		return nil, nil, err
+	}
+	rels := make([]*catalog.Relation, len(names))
+	files := make([]*heap.File, len(names))
+	for i, n := range names {
+		r, err := s.db.cat.Get(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := r.File.OnDisk(s.view)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels[i] = r
+		files[i] = f
+	}
+	return rels, files, nil
+}
+
+// Join runs an equijoin between two relations within the session's memory
+// grant, streaming joined pairs to emit (nil to count only). See
+// Database.Join.
+func (s *Session) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple)) (JoinResult, error) {
+	rels, files, err := s.lockAndView(left, right)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	lc := rels[0].Schema().FieldIndex(leftCol)
+	if lc < 0 {
+		return JoinResult{}, fmt.Errorf("mmdb: %s has no column %q", left, leftCol)
+	}
+	rc := rels[1].Schema().FieldIndex(rightCol)
+	if rc < 0 {
+		return JoinResult{}, fmt.Errorf("mmdb: %s has no column %q", right, rightCol)
+	}
+	if algorithm == AutoJoin {
+		algorithm = HybridHash
+	}
+	spec := join.Spec{
+		R: files[0], S: files[1],
+		RCol: lc, SCol: rc,
+		M:           s.granted,
+		F:           s.db.opts.Params.F,
+		Parallelism: s.db.opts.Parallelism,
+	}
+	swapped := false
+	if spec.S.NumPages() < spec.R.NumPages() {
+		spec.R, spec.S = spec.S, spec.R
+		spec.RCol, spec.SCol = spec.SCol, spec.RCol
+		swapped = true
+	}
+	var wrapped join.Emit
+	if emit != nil {
+		wrapped = func(r, t Tuple) {
+			if swapped {
+				emit(t, r)
+			} else {
+				emit(r, t)
+			}
+		}
+	}
+	res, err := join.Run(algorithm, spec, wrapped)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	return JoinResult{
+		Algorithm:  res.Algorithm,
+		Matches:    res.Matches,
+		Counters:   res.Counters,
+		Elapsed:    res.Elapsed,
+		Passes:     res.Passes,
+		Partitions: res.Partitions,
+	}, nil
+}
+
+// Aggregate computes per-group count/sum/min/max/avg within the session's
+// memory grant. See Database.Aggregate.
+func (s *Session) Aggregate(relation, groupCol, valueCol string) ([]GroupRow, error) {
+	rels, files, err := s.lockAndView(relation)
+	if err != nil {
+		return nil, err
+	}
+	schema := rels[0].Schema()
+	gc := schema.FieldIndex(groupCol)
+	vc := schema.FieldIndex(valueCol)
+	if gc < 0 || vc < 0 {
+		return nil, fmt.Errorf("mmdb: %s lacks column %q or %q", relation, groupCol, valueCol)
+	}
+	res, err := agg.Hash(agg.Spec{
+		Input:       files[0],
+		GroupCol:    gc,
+		ValueCol:    vc,
+		M:           s.granted,
+		F:           s.db.opts.Params.F,
+		Parallelism: s.db.opts.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupRow, len(res.Groups))
+	for i, g := range res.Groups {
+		out[i] = GroupRow(g)
+	}
+	return out, nil
+}
+
+// Distinct returns the distinct values of a column within the session's
+// memory grant. See Database.Distinct.
+func (s *Session) Distinct(relation, column string) ([]Value, error) {
+	rels, files, err := s.lockAndView(relation)
+	if err != nil {
+		return nil, err
+	}
+	col := rels[0].Schema().FieldIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("mmdb: %s has no column %q", relation, column)
+	}
+	return agg.Distinct(files[0], col, s.granted, s.db.opts.Params.F, s.db.opts.Parallelism)
+}
+
+// OrderBy streams the relation's rows in ascending column order using the
+// §3.4 sort machinery within the session's memory grant. See
+// Database.OrderBy.
+func (s *Session) OrderBy(relation, column string, fn func(Tuple) bool) error {
+	rels, files, err := s.lockAndView(relation)
+	if err != nil {
+		return err
+	}
+	col := rels[0].Schema().FieldIndex(column)
+	if col < 0 {
+		return fmt.Errorf("mmdb: %s has no column %q", relation, column)
+	}
+	capacity := int(float64(s.granted) * float64(files[0].TuplesPerPage()) / s.db.opts.Params.F)
+	if capacity < 2 {
+		capacity = 2
+	}
+	fanout := s.granted
+	stream, _, err := extsort.Sort(files[0], col, capacity, fanout,
+		fmt.Sprintf("orderby.%s.%d", relation, orderBySeq.Add(1)), simio.Uncharged)
+	if err != nil {
+		return err
+	}
+	for {
+		t, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if !fn(t) {
+			break
+		}
+	}
+	return stream.Err()
+}
+
+// Plan optimizes a multi-way join under the session's memory grant: the
+// §4 planner sees the granted |M|, not the global one, so its plan
+// choices stay faithful to what the session can actually execute.
+func (s *Session) Plan(q Query, mode PlanMode) (*QueryPlan, error) {
+	names := make([]string, len(q.Tables))
+	for i, t := range q.Tables {
+		names[i] = t.Relation
+	}
+	if _, _, err := s.lockAndView(names...); err != nil {
+		return nil, err
+	}
+	pq, err := s.db.buildPlannerQuery(q, s.granted, s.view)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.finishPlan(pq, mode, s)
+}
