@@ -14,6 +14,7 @@
 //	mmdbench -exp recovery            # §5 throughput ladder
 //	mmdbench -exp checkpoint          # §5.3/§5.5 checkpoint sweep
 //	mmdbench -exp concurrency -clients 8   # multi-client contention ladder
+//	mmdbench -exp priority            # priority-class admission ladder
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority")
 	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
 	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
 	par := flag.Int("parallel", 1, "worker goroutines for executed join operators (1 = serial, -1 = GOMAXPROCS); virtual times are identical, wall time shrinks")
@@ -134,5 +135,14 @@ func main() {
 		}
 		res.Print(os.Stdout)
 		return res.WriteJSON("BENCH_concurrency.json")
+	})
+	run("priority", func() error {
+		cfg := experiments.DefaultPriorityConfig()
+		res, err := experiments.RunPriority(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return res.WriteJSON("BENCH_priority.json")
 	})
 }

@@ -201,3 +201,32 @@ func TestAggStudy(t *testing.T) {
 	var buf bytes.Buffer
 	res.Print(&buf)
 }
+
+func TestPrioritySmoke(t *testing.T) {
+	cfg := DefaultPriorityConfig()
+	cfg.BatchClients = 4
+	cfg.InteractiveClients = 1
+	cfg.InteractiveQueries = 8
+	cfg.Tuples = 500
+	cfg.Groups = 10
+	res, err := RunPriority(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Rungs) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.Rungs))
+	}
+	for _, row := range res.Rows {
+		if !row.VirtualMatch {
+			t.Errorf("%s rung: virtual-clock results diverged from serial", row.Policy)
+		}
+		if row.Interactive.Queries != cfg.InteractiveClients*cfg.InteractiveQueries {
+			t.Errorf("%s rung: interactive queries = %d", row.Policy, row.Interactive.Queries)
+		}
+		if row.Batch.Queries == 0 {
+			t.Errorf("%s rung: batch stream made no progress", row.Policy)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+}

@@ -11,18 +11,18 @@ type Policy int
 
 // Memory policies.
 const (
-	// StaticShare grants every query the same fixed share,
-	// total/slots (clamped to the minimum useful grant). Grants are
-	// independent of instantaneous load, which keeps planner choices and
-	// virtual-clock accounting bit-identical whether queries run serially
-	// or concurrently — the default, and the policy the determinism
-	// acceptance tests assert against.
+	// StaticShare grants every query of a class the same fixed share,
+	// (general + reserved[class])/slots (clamped to the minimum useful
+	// grant). Grants are independent of instantaneous load, which keeps
+	// planner choices and virtual-clock accounting bit-identical whether
+	// queries run serially or concurrently — the default, and the policy
+	// the determinism acceptance tests assert against.
 	StaticShare Policy = iota
-	// Greedy grants an admitted query all currently-free pages (at least
-	// the minimum grant). Adaptive — a lone query gets the whole |M|, a
-	// crowd divides it by arrival order — but grant sizes then depend on
-	// timing, so per-query virtual costs are only reproducible for
-	// serial workloads.
+	// Greedy grants an admitted query all pages its class may currently
+	// draw (at least the minimum grant). Adaptive — a lone query gets the
+	// whole |M|, a crowd divides it by arrival order — but grant sizes
+	// then depend on timing, so per-query virtual costs are only
+	// reproducible for serial workloads.
 	Greedy
 )
 
@@ -42,66 +42,123 @@ func (p Policy) String() string {
 // operator to make progress.
 const MinGrant = 2
 
-// Broker partitions a fixed budget of memory pages into per-query grants.
-// Reservations queue FIFO when the budget is exhausted; the invariant
-// granted <= total holds at all times (checked, with a high-water mark for
-// audits). It is safe for concurrent use.
+// Broker partitions a fixed budget of memory pages into per-query
+// grants. The budget splits into a general pool plus an optional
+// reserved pool per class: a class's grants draw its own reserved pool
+// first, then the general pool, and can never touch another class's
+// reservation — so batch grants cannot starve interactive |M|, the
+// multiclass analogue of the paper's "memory is the resource" stance.
+//
+// With the StaticShare policy each class's share is sized to
+// (general + reserved[class])/slots, which guarantees that any mix of
+// at most `slots` admitted queries always fits: admitted queries never
+// block on memory, only on admission. Reservations queue FIFO per class
+// when the pools are exhausted (explicit-size or Greedy grants can
+// exceed the share); the invariant granted <= total holds at all times
+// (checked, with a high-water mark for audits). It is safe for
+// concurrent use.
 type Broker struct {
-	total  int
-	share  int // StaticShare grant size
-	policy Policy
+	total    int
+	general  int // total minus all reservations
+	reserved [NumClasses]int
+	share    [NumClasses]int // StaticShare grant size per class
+	policy   Policy
 
-	mu     sync.Mutex
-	free   int
-	peak   int // high-water mark of granted pages
-	grants uint64
-	queue  []*memWaiter
+	mu      sync.Mutex
+	freeGen int
+	freeRes [NumClasses]int
+	peak    int // high-water mark of granted pages
+	grants  uint64
+	queues  [NumClasses][]*memWaiter
 }
 
 type memWaiter struct {
-	need  int // pages that must be free before this waiter can be granted
+	need  int // pages that must be drawable before this waiter is granted
 	want  int // 0 means policy default
 	ready chan int
 }
 
 // NewBroker returns a broker over total pages serving at most slots
-// concurrent queries under the given policy. The static share is
-// total/slots, clamped up to MinGrant and down to total.
-func NewBroker(total, slots int, policy Policy) *Broker {
+// concurrent queries under the given policy, with reserved[c] pages set
+// aside for exclusive use by class c. Reservations are clamped so the
+// general pool keeps at least MinGrant pages; each class's static share
+// is (general + reserved[class])/slots, clamped up to MinGrant and down
+// to the class's maximum drawable pool.
+func NewBroker(total, slots int, policy Policy, reserved [NumClasses]int) *Broker {
 	if total < MinGrant {
 		total = MinGrant
 	}
 	if slots < 1 {
 		slots = 1
 	}
-	share := total / slots
-	if share < MinGrant {
-		share = MinGrant
+	b := &Broker{total: total, policy: policy}
+	// Clamp reservations: never reserve past total-MinGrant overall.
+	budget := total - MinGrant
+	for c := 0; c < int(NumClasses); c++ {
+		r := reserved[c]
+		if r < 0 {
+			r = 0
+		}
+		if r > budget {
+			r = budget
+		}
+		budget -= r
+		b.reserved[c] = r
 	}
-	if share > total {
-		share = total
+	sum := 0
+	for _, r := range b.reserved {
+		sum += r
 	}
-	return &Broker{total: total, share: share, policy: policy, free: total}
+	b.general = total - sum
+	b.freeGen = b.general
+	for c := 0; c < int(NumClasses); c++ {
+		b.freeRes[c] = b.reserved[c]
+		share := (b.general + b.reserved[c]) / slots
+		if share < MinGrant {
+			share = MinGrant
+		}
+		if max := b.general + b.reserved[c]; share > max {
+			share = max
+		}
+		b.share[c] = share
+	}
+	return b
+}
+
+// NewUnreservedBroker is NewBroker with no per-class reservations: every
+// class shares one pool and one share size, the pre-multiclass behavior.
+func NewUnreservedBroker(total, slots int, policy Policy) *Broker {
+	return NewBroker(total, slots, policy, [NumClasses]int{})
 }
 
 // Total returns the brokered budget |M|.
 func (b *Broker) Total() int { return b.total }
 
-// Share returns the StaticShare grant size.
-func (b *Broker) Share() int { return b.share }
+// Reserved returns the pages set aside for class c.
+func (b *Broker) Reserved(c Class) int { return b.reserved[c] }
+
+// Share returns the StaticShare grant size for class c.
+func (b *Broker) Share(c Class) int { return b.share[c] }
 
 // Policy returns the grant policy.
 func (b *Broker) Policy() Policy { return b.policy }
 
-// Reserve blocks until a grant is available and returns its size in
-// pages. want == 0 requests the policy default; want > 0 requests an
-// explicit size (clamped to [MinGrant, total]) — the path used when a
-// pre-optimized plan must execute with the |M| it was costed against.
-// Waiters are served strictly FIFO; a waiter whose context ends while
-// queued is removed without a grant.
-func (b *Broker) Reserve(ctx context.Context, want int) (int, error) {
-	if want > b.total {
-		want = b.total
+// classMax returns the largest pool class c may ever draw from.
+func (b *Broker) classMax(c Class) int { return b.general + b.reserved[c] }
+
+// Reserve blocks until a grant is available for class and returns its
+// size in pages. want == 0 requests the policy default; want > 0
+// requests an explicit size (clamped to [MinGrant, the class's drawable
+// pool]) — the path used when a pre-optimized plan must execute with the
+// |M| it was costed against. Waiters are served strictly FIFO within a
+// class, higher-priority classes first across classes; a waiter whose
+// context ends while queued is removed without a grant.
+func (b *Broker) Reserve(ctx context.Context, class Class, want int) (int, error) {
+	if !class.Valid() {
+		class = Batch
+	}
+	if max := b.classMax(class); want > max {
+		want = max
 	}
 	if want != 0 && want < MinGrant {
 		want = MinGrant
@@ -111,14 +168,14 @@ func (b *Broker) Reserve(ctx context.Context, want int) (int, error) {
 		b.mu.Unlock()
 		return 0, err
 	}
-	need := b.needFor(want)
-	if len(b.queue) == 0 && b.free >= need {
-		grant := b.grantLocked(want)
+	need := b.needFor(class, want)
+	if len(b.queues[class]) == 0 && b.drawableLocked(class) >= need {
+		grant := b.grantLocked(class, want)
 		b.mu.Unlock()
 		return grant, nil
 	}
 	w := &memWaiter{need: need, want: want, ready: make(chan int, 1)}
-	b.queue = append(b.queue, w)
+	b.queues[class] = append(b.queues[class], w)
 	b.mu.Unlock()
 
 	select {
@@ -135,9 +192,9 @@ func (b *Broker) Reserve(ctx context.Context, want int) (int, error) {
 			return grant, nil
 		default:
 		}
-		for i, q := range b.queue {
+		for i, q := range b.queues[class] {
 			if q == w {
-				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				b.queues[class] = append(b.queues[class][:i], b.queues[class][i+1:]...)
 				break
 			}
 		}
@@ -146,60 +203,92 @@ func (b *Broker) Reserve(ctx context.Context, want int) (int, error) {
 	}
 }
 
-// needFor returns the free pages required before a request can be granted.
-func (b *Broker) needFor(want int) int {
+// drawableLocked returns the pages class c could take right now.
+func (b *Broker) drawableLocked(c Class) int { return b.freeGen + b.freeRes[c] }
+
+// needFor returns the drawable pages required before a request can be
+// granted.
+func (b *Broker) needFor(class Class, want int) int {
 	if want > 0 {
 		return want
 	}
 	if b.policy == Greedy {
 		return MinGrant
 	}
-	return b.share
+	return b.share[class]
 }
 
-// grantLocked carves the grant out of the free pool.
-func (b *Broker) grantLocked(want int) int {
+// grantLocked carves the grant out of the class's reserved pool first,
+// then the general pool.
+func (b *Broker) grantLocked(class Class, want int) int {
 	grant := want
 	if grant == 0 {
 		if b.policy == Greedy {
-			grant = b.free // everything currently free
+			grant = b.drawableLocked(class) // everything the class may draw
 		} else {
-			grant = b.share
+			grant = b.share[class]
 		}
 	}
-	if grant > b.free {
+	if grant > b.drawableLocked(class) {
 		// Unreachable by construction (need <= grant checked before the
 		// grant); guard the invariant anyway.
-		panic(fmt.Sprintf("session: broker over-grant: want %d, free %d", grant, b.free))
+		panic(fmt.Sprintf("session: broker over-grant: %s wants %d, drawable %d",
+			class, grant, b.drawableLocked(class)))
 	}
-	b.free -= grant
+	fromRes := grant
+	if fromRes > b.freeRes[class] {
+		fromRes = b.freeRes[class]
+	}
+	b.freeRes[class] -= fromRes
+	b.freeGen -= grant - fromRes
 	b.grants++
-	if used := b.total - b.free; used > b.peak {
+	if used := b.total - b.freeLocked(); used > b.peak {
 		b.peak = used
 	}
 	return grant
 }
 
-// Release returns a grant to the pool and serves eligible queued waiters
-// in FIFO order (the head blocks later arrivals even if they would fit —
-// no starvation).
-func (b *Broker) Release(pages int) {
+// freeLocked sums every pool's free pages.
+func (b *Broker) freeLocked() int {
+	free := b.freeGen
+	for _, r := range b.freeRes {
+		free += r
+	}
+	return free
+}
+
+// Release returns a class's grant to its pools — the reserved pool is
+// refilled first, the remainder goes to the general pool — and serves
+// eligible queued waiters: higher-priority classes first, strictly FIFO
+// within a class (a class's head blocks its later arrivals even if they
+// would fit — no intra-class starvation).
+func (b *Broker) Release(class Class, pages int) {
 	if pages == 0 {
 		return
 	}
+	if !class.Valid() {
+		class = Batch
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.free += pages
-	if b.free > b.total {
-		panic(fmt.Sprintf("session: broker released more than granted: free %d > total %d", b.free, b.total))
+	toRes := b.reserved[class] - b.freeRes[class]
+	if toRes > pages {
+		toRes = pages
 	}
-	for len(b.queue) > 0 {
-		w := b.queue[0]
-		if b.free < w.need {
-			return
+	b.freeRes[class] += toRes
+	b.freeGen += pages - toRes
+	if free := b.freeLocked(); free > b.total {
+		panic(fmt.Sprintf("session: broker released more than granted: free %d > total %d", free, b.total))
+	}
+	for c := 0; c < int(NumClasses); c++ {
+		for len(b.queues[c]) > 0 {
+			w := b.queues[c][0]
+			if b.drawableLocked(Class(c)) < w.need {
+				break
+			}
+			b.queues[c] = b.queues[c][1:]
+			w.ready <- b.grantLocked(Class(c), w.want)
 		}
-		b.queue = b.queue[1:]
-		w.ready <- b.grantLocked(w.want)
 	}
 }
 
@@ -207,7 +296,7 @@ func (b *Broker) Release(pages int) {
 func (b *Broker) Granted() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.total - b.free
+	return b.total - b.freeLocked()
 }
 
 // Peak returns the high-water mark of pages simultaneously granted; it can

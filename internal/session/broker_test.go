@@ -9,14 +9,14 @@ import (
 )
 
 func TestSessionBrokerStaticShareDeterministic(t *testing.T) {
-	b := NewBroker(1000, 8, StaticShare)
-	if b.Share() != 125 {
-		t.Fatalf("share = %d, want 125", b.Share())
+	b := NewUnreservedBroker(1000, 8, StaticShare)
+	if b.Share(Batch) != 125 {
+		t.Fatalf("share = %d, want 125", b.Share(Batch))
 	}
 	// Every default grant is the same size regardless of load.
 	var grants []int
 	for i := 0; i < 8; i++ {
-		g, err := b.Reserve(context.Background(), 0)
+		g, err := b.Reserve(context.Background(), Batch, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -31,7 +31,7 @@ func TestSessionBrokerStaticShareDeterministic(t *testing.T) {
 		t.Fatalf("granted = %d", b.Granted())
 	}
 	for range grants {
-		b.Release(125)
+		b.Release(Batch, 125)
 	}
 	if b.Granted() != 0 {
 		t.Fatalf("granted after release = %d", b.Granted())
@@ -39,8 +39,8 @@ func TestSessionBrokerStaticShareDeterministic(t *testing.T) {
 }
 
 func TestSessionBrokerGreedyAdaptive(t *testing.T) {
-	b := NewBroker(100, 4, Greedy)
-	g1, err := b.Reserve(context.Background(), 0)
+	b := NewUnreservedBroker(100, 4, Greedy)
+	g1, err := b.Reserve(context.Background(), Batch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,22 +50,22 @@ func TestSessionBrokerGreedyAdaptive(t *testing.T) {
 	// A second query blocks until the first releases.
 	got := make(chan int, 1)
 	go func() {
-		g, err := b.Reserve(context.Background(), 0)
+		g, err := b.Reserve(context.Background(), Batch, 0)
 		if err != nil {
 			t.Error(err)
 		}
 		got <- g
 	}()
-	b.Release(g1)
+	b.Release(Batch, g1)
 	if g2 := <-got; g2 != 100 {
 		t.Fatalf("second greedy grant = %d, want 100", g2)
 	}
-	b.Release(100)
+	b.Release(Batch, 100)
 }
 
 func TestSessionBrokerExplicitWantAndFIFO(t *testing.T) {
-	b := NewBroker(100, 4, StaticShare)
-	g, err := b.Reserve(context.Background(), 60)
+	b := NewUnreservedBroker(100, 4, StaticShare)
+	g, err := b.Reserve(context.Background(), Batch, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestSessionBrokerExplicitWantAndFIFO(t *testing.T) {
 	// pages are free — strict FIFO, no starvation.
 	first := make(chan int, 1)
 	go func() {
-		g, err := b.Reserve(context.Background(), 60)
+		g, err := b.Reserve(context.Background(), Batch, 60)
 		if err != nil {
 			t.Error(err)
 		}
@@ -85,7 +85,7 @@ func TestSessionBrokerExplicitWantAndFIFO(t *testing.T) {
 	waitForQueue(t, b, 1)
 	second := make(chan int, 1)
 	go func() {
-		g, err := b.Reserve(context.Background(), 10)
+		g, err := b.Reserve(context.Background(), Batch, 10)
 		if err != nil {
 			t.Error(err)
 		}
@@ -97,27 +97,27 @@ func TestSessionBrokerExplicitWantAndFIFO(t *testing.T) {
 		t.Fatalf("small request jumped the queue with grant %d", g)
 	default:
 	}
-	b.Release(60)
+	b.Release(Batch, 60)
 	if g := <-first; g != 60 {
 		t.Fatalf("head grant = %d", g)
 	}
 	if g := <-second; g != 10 {
 		t.Fatalf("second grant = %d", g)
 	}
-	b.Release(60)
-	b.Release(10)
+	b.Release(Batch, 60)
+	b.Release(Batch, 10)
 }
 
 func TestSessionBrokerCancelWhileQueued(t *testing.T) {
-	b := NewBroker(10, 1, StaticShare)
-	g, err := b.Reserve(context.Background(), 10)
+	b := NewUnreservedBroker(10, 1, StaticShare)
+	g, err := b.Reserve(context.Background(), Batch, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := b.Reserve(ctx, 5)
+		_, err := b.Reserve(ctx, Batch, 5)
 		done <- err
 	}()
 	waitForQueue(t, b, 1)
@@ -125,7 +125,7 @@ func TestSessionBrokerCancelWhileQueued(t *testing.T) {
 	if err := <-done; !errors.Is(err, context.Canceled) {
 		t.Fatalf("expected Canceled, got %v", err)
 	}
-	b.Release(g)
+	b.Release(Batch, g)
 	if b.Granted() != 0 {
 		t.Fatalf("granted = %d after full release", b.Granted())
 	}
@@ -136,7 +136,7 @@ func TestSessionBrokerCancelWhileQueued(t *testing.T) {
 // mark of simultaneously granted pages never exceeds the budget.
 func TestSessionBrokerNeverOverGrants(t *testing.T) {
 	for _, policy := range []Policy{StaticShare, Greedy} {
-		b := NewBroker(64, 6, policy)
+		b := NewUnreservedBroker(64, 6, policy)
 		var wg sync.WaitGroup
 		for w := 0; w < 12; w++ {
 			w := w
@@ -149,12 +149,12 @@ func TestSessionBrokerNeverOverGrants(t *testing.T) {
 					if rng.Intn(2) == 0 {
 						want = 2 + rng.Intn(40)
 					}
-					g, err := b.Reserve(context.Background(), want)
+					g, err := b.Reserve(context.Background(), Batch, want)
 					if err != nil {
 						t.Error(err)
 						return
 					}
-					b.Release(g)
+					b.Release(Batch, g)
 				}
 			}()
 		}
@@ -173,6 +173,6 @@ func waitForQueue(t *testing.T, b *Broker, n int) {
 	waitFor(t, func() bool {
 		b.mu.Lock()
 		defer b.mu.Unlock()
-		return len(b.queue) == n
+		return len(b.queues[Batch]) == n
 	})
 }

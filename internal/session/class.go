@@ -1,0 +1,171 @@
+package session
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Class is an admission priority class. The terminal-latency analysis in
+// §5.1 assumes short interactive requests are not stuck behind bulk work;
+// multiclass admission is how the scheduler and broker deliver that:
+// each class has its own FIFO queue, depth, metrics and (optionally) a
+// reserved page budget.
+//
+// Classes are ordered by priority: a lower value outranks a higher one at
+// slot-grant time under StrictPriority.
+type Class int
+
+// Priority classes.
+const (
+	// Interactive is the high-priority class for short §5.1-style
+	// lookups and selections: under StrictPriority it is granted freed
+	// slots ahead of any queued Batch work (no in-flight preemption).
+	Interactive Class = iota
+	// Batch is the default class for bulk joins, aggregates and scans.
+	Batch
+	// NumClasses sizes per-class arrays.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Valid reports whether c names a real class.
+func (c Class) Valid() bool { return c >= 0 && c < NumClasses }
+
+// PickPolicy selects how a freed slot chooses among non-empty class
+// queues.
+type PickPolicy int
+
+// Pick policies.
+const (
+	// StrictPriority always grants the freed slot to the head of the
+	// highest-priority non-empty queue: Interactive preempts Batch at
+	// grant time. Running queries are never interrupted, so a batch
+	// query at most delays an interactive one by its own residual
+	// service time.
+	StrictPriority PickPolicy = iota
+	// WeightedFair grants slots so that over time each backlogged class
+	// receives slot grants in proportion to its configured Weight: the
+	// non-empty class with the smallest served/weight ratio wins the
+	// freed slot.
+	WeightedFair
+)
+
+func (p PickPolicy) String() string {
+	switch p {
+	case StrictPriority:
+		return "strict"
+	case WeightedFair:
+		return "weighted"
+	default:
+		return fmt.Sprintf("PickPolicy(%d)", int(p))
+	}
+}
+
+// ClassLimits configures one class's admission queue.
+type ClassLimits struct {
+	// QueueDepth bounds how many queries of this class may wait for a
+	// slot before arrivals are rejected. Negative means no queue.
+	QueueDepth int
+	// Weight is the class's share under WeightedFair; < 1 is clamped
+	// to 1. Ignored under StrictPriority.
+	Weight int
+}
+
+// OverloadError is the concrete rejection returned when a class's
+// admission queue is full. It wraps ErrOverloaded — errors.Is(err,
+// ErrOverloaded) still matches — while telling the caller which class
+// shed the query and at what configured depth, so interactive and batch
+// shedding can be distinguished and handled differently.
+type OverloadError struct {
+	Class Class // class whose queue rejected the query
+	Depth int   // configured queue depth that was full
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("session: overloaded: %s admission queue full (depth %d)", e.Class, e.Depth)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// HistBuckets is the number of log₂-microsecond buckets in a Histogram.
+// Bucket i counts observations in [2^(i-1), 2^i) µs (bucket 0 is < 1 µs);
+// the last bucket absorbs everything ≥ 2^(HistBuckets-2) µs (~5 hours).
+const HistBuckets = 36
+
+// Histogram is a fixed-size log-scale latency histogram. The zero value
+// is ready to use. It is not itself synchronized; the scheduler updates
+// it under its own mutex and Metrics returns copies.
+type Histogram struct {
+	Counts [HistBuckets]uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us)) // 0 for d < 1µs
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Counts[i]++
+}
+
+// Merge adds o's counts into h.
+func (h *Histogram) Merge(o Histogram) {
+	for i, n := range o.Counts {
+		h.Counts[i] += n
+	}
+}
+
+// Total returns the number of observations.
+func (h Histogram) Total() uint64 {
+	var t uint64
+	for _, n := range h.Counts {
+		t += n
+	}
+	return t
+}
+
+// Quantile returns an upper bound on the p-quantile (p in [0,1]): the
+// upper edge of the bucket holding the rank-p observation. Resolution is
+// a factor of two — good enough for p50/p95/p99 tail reporting; exact
+// percentiles come from raw samples where experiments need them.
+func (h Histogram) Quantile(p float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, n := range h.Counts {
+		seen += n
+		if seen > rank {
+			// Upper edge of bucket i: 2^i µs (bucket 0 is < 1 µs).
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<uint(HistBuckets-1)) * time.Microsecond
+}

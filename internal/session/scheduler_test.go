@@ -9,36 +9,36 @@ import (
 )
 
 func TestSessionSchedulerAdmitAndOverload(t *testing.T) {
-	s := NewScheduler(2, 1)
-	if _, err := s.Admit(context.Background()); err != nil {
+	s := NewFIFOScheduler(2, 1)
+	if _, err := s.Admit(context.Background(), Batch); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Admit(context.Background()); err != nil {
+	if _, err := s.Admit(context.Background(), Batch); err != nil {
 		t.Fatal(err)
 	}
 	// Slots full; one waiter fits the queue, the next must be rejected.
 	done := make(chan error, 1)
 	go func() {
-		_, err := s.Admit(context.Background())
+		_, err := s.Admit(context.Background(), Batch)
 		done <- err
 	}()
 	waitFor(t, func() bool { return s.Queued() == 1 })
-	if _, err := s.Admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+	if _, err := s.Admit(context.Background(), Batch); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("expected ErrOverloaded, got %v", err)
 	}
-	s.Done()
+	s.Done(Batch)
 	if err := <-done; err != nil {
 		t.Fatalf("queued admission failed: %v", err)
 	}
-	m := s.Metrics()
+	m := s.Metrics().Total()
 	if m.Admitted != 3 || m.Rejected != 1 {
 		t.Fatalf("metrics = %+v", m)
 	}
 }
 
 func TestSessionSchedulerFIFO(t *testing.T) {
-	s := NewScheduler(1, 16)
-	if _, err := s.Admit(context.Background()); err != nil {
+	s := NewFIFOScheduler(1, 16)
+	if _, err := s.Admit(context.Background(), Batch); err != nil {
 		t.Fatal(err)
 	}
 	const waiters = 8
@@ -50,17 +50,17 @@ func TestSessionSchedulerFIFO(t *testing.T) {
 		go func() {
 			// Serialize queue entry so FIFO order is deterministic.
 			started.Done()
-			if _, err := s.Admit(context.Background()); err != nil {
+			if _, err := s.Admit(context.Background(), Batch); err != nil {
 				t.Error(err)
 				return
 			}
 			order <- i
-			s.Done()
+			s.Done(Batch)
 		}()
 		waitFor(t, func() bool { return s.Queued() == i+1 })
 	}
 	started.Wait()
-	s.Done() // release the initial slot; waiters drain in queue order
+	s.Done(Batch) // release the initial slot; waiters drain in queue order
 	for want := 0; want < waiters; want++ {
 		if got := <-order; got != want {
 			t.Fatalf("FIFO violated: got %d, want %d", got, want)
@@ -69,14 +69,14 @@ func TestSessionSchedulerFIFO(t *testing.T) {
 }
 
 func TestSessionSchedulerCancelWhileQueued(t *testing.T) {
-	s := NewScheduler(1, 4)
-	if _, err := s.Admit(context.Background()); err != nil {
+	s := NewFIFOScheduler(1, 4)
+	if _, err := s.Admit(context.Background(), Batch); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := s.Admit(ctx)
+		_, err := s.Admit(ctx, Batch)
 		done <- err
 	}()
 	waitFor(t, func() bool { return s.Queued() == 1 })
@@ -88,28 +88,28 @@ func TestSessionSchedulerCancelWhileQueued(t *testing.T) {
 		t.Fatalf("canceled waiter still queued")
 	}
 	// The slot is still usable and the canceled waiter never consumed it.
-	s.Done()
-	if _, err := s.Admit(context.Background()); err != nil {
+	s.Done(Batch)
+	if _, err := s.Admit(context.Background(), Batch); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSessionSchedulerDeadline(t *testing.T) {
-	s := NewScheduler(1, 4)
-	if _, err := s.Admit(context.Background()); err != nil {
+	s := NewFIFOScheduler(1, 4)
+	if _, err := s.Admit(context.Background(), Batch); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	if _, err := s.Admit(ctx); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := s.Admit(ctx, Batch); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expected DeadlineExceeded, got %v", err)
 	}
 }
 
 func TestSessionSchedulerClose(t *testing.T) {
-	s := NewScheduler(1, 4)
+	s := NewFIFOScheduler(1, 4)
 	s.Close()
-	if _, err := s.Admit(context.Background()); !errors.Is(err, ErrClosed) {
+	if _, err := s.Admit(context.Background(), Batch); !errors.Is(err, ErrClosed) {
 		t.Fatalf("expected ErrClosed, got %v", err)
 	}
 }

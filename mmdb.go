@@ -98,10 +98,22 @@ type Options struct {
 	// engine's behavior exactly — including whole-|M| memory grants —
 	// while already making concurrent callers safe.
 	MaxConcurrentQueries int
-	// QueueDepth bounds how many queries may wait for a slot before new
-	// arrivals are rejected with ErrOverloaded. 0 means 64; negative
-	// means no queue (reject as soon as all slots are busy).
+	// QueueDepth bounds how many queries of a class may wait for a slot
+	// before new arrivals of that class are rejected with ErrOverloaded.
+	// 0 means 64; negative means no queue (reject as soon as all slots
+	// are busy). Classes[c].QueueDepth overrides it per class.
 	QueueDepth int
+	// PickPolicy selects which class a freed execution slot goes to when
+	// several classes have queued queries: StrictPriority (the default —
+	// Interactive ahead of Batch at grant time, no in-flight preemption)
+	// or WeightedFair (slot grants proportional to class weights).
+	// With a single class in use both degenerate to plain FIFO, the
+	// pre-multiclass behavior.
+	PickPolicy PickPolicy
+	// Classes tunes admission per priority class, indexed by QueryClass
+	// (Classes[Interactive], Classes[Batch]). Zero values inherit the
+	// global defaults; see ClassConfig.
+	Classes [NumClasses]ClassConfig
 	// MemoryPolicy selects how the broker sizes per-query memory grants
 	// out of MemoryPages. The default, MemoryStatic, gives every query
 	// MemoryPages/MaxConcurrentQueries — deterministic, so per-query
@@ -123,9 +135,59 @@ const (
 	MemoryGreedy = session.Greedy
 )
 
+// QueryClass is an admission priority class; sessions carry one
+// (WithClass) and the scheduler and broker treat classes separately.
+type QueryClass = session.Class
+
+// Priority classes. Sessions default to Batch; tag short terminal-style
+// queries Interactive so they are never stuck behind bulk scans.
+const (
+	Interactive = session.Interactive
+	Batch       = session.Batch
+	// NumClasses sizes per-class arrays such as Options.Classes.
+	NumClasses = int(session.NumClasses)
+)
+
+// PickPolicy selects how a freed execution slot chooses among queued
+// classes (see Options.PickPolicy).
+type PickPolicy = session.PickPolicy
+
+// Pick policies.
+const (
+	StrictPriority = session.StrictPriority
+	WeightedFair   = session.WeightedFair
+)
+
+// ClassConfig tunes one priority class's admission (see Options.Classes).
+type ClassConfig struct {
+	// QueueDepth bounds this class's admission queue. 0 inherits
+	// Options.QueueDepth; negative means no queue.
+	QueueDepth int
+	// Weight is the class's slot share under WeightedFair: over time a
+	// backlogged class receives freed slots in proportion to its weight.
+	// 0 means the default (4 for Interactive, 1 for Batch); ignored
+	// under StrictPriority.
+	Weight int
+	// ReservedPages sets aside that many of MemoryPages for exclusive
+	// use by this class's memory grants: other classes' grants can never
+	// draw them, so bulk work cannot starve this class of |M|. Under the
+	// static policy a class's grant is
+	// (general + reserved)/MaxConcurrentQueries, which keeps any
+	// admitted mix fitting without memory waits. 0 means no reservation.
+	ReservedPages int
+}
+
 // ErrOverloaded is returned when a query cannot even be queued: all
-// execution slots are busy and the admission queue is full.
+// execution slots are busy and its class's admission queue is full. The
+// concrete error is an *OverloadError carrying the shedding class and
+// depth; errors.Is(err, ErrOverloaded) matches it.
 var ErrOverloaded = session.ErrOverloaded
+
+// OverloadError is the concrete ErrOverloaded rejection, reporting which
+// class shed the query and the configured queue depth that was full. Use
+// errors.As to recover it and distinguish interactive from batch
+// shedding.
+type OverloadError = session.OverloadError
 
 func (o Options) withDefaults() Options {
 	if o.PageSize == 0 {
@@ -142,6 +204,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 64
+	}
+	for c := range o.Classes {
+		if o.Classes[c].QueueDepth == 0 {
+			o.Classes[c].QueueDepth = o.QueueDepth
+		}
+		if o.Classes[c].Weight == 0 {
+			if QueryClass(c) == Interactive {
+				o.Classes[c].Weight = 4
+			} else {
+				o.Classes[c].Weight = 1
+			}
+		}
 	}
 	return o
 }
@@ -181,17 +255,22 @@ func Open(opts Options) (*Database, error) {
 	}
 	clock := cost.NewClock(opts.Params)
 	disk := simio.NewDisk(clock, opts.PageSize)
-	depth := opts.QueueDepth
-	if depth < 0 {
-		depth = 0
+	var limits [session.NumClasses]session.ClassLimits
+	var reserved [session.NumClasses]int
+	for c := range limits {
+		limits[c] = session.ClassLimits{
+			QueueDepth: opts.Classes[c].QueueDepth,
+			Weight:     opts.Classes[c].Weight,
+		}
+		reserved[c] = opts.Classes[c].ReservedPages
 	}
 	return &Database{
 		opts:   opts,
 		clock:  clock,
 		disk:   disk,
 		cat:    catalog.New(disk),
-		sched:  session.NewScheduler(opts.MaxConcurrentQueries, depth),
-		broker: session.NewBroker(opts.MemoryPages, opts.MaxConcurrentQueries, opts.MemoryPolicy),
+		sched:  session.NewScheduler(opts.MaxConcurrentQueries, opts.PickPolicy, limits),
+		broker: session.NewBroker(opts.MemoryPages, opts.MaxConcurrentQueries, opts.MemoryPolicy, reserved),
 		locks:  session.NewLockTable(),
 	}, nil
 }
@@ -278,10 +357,31 @@ func (db *Database) lockRelations(ctx context.Context, mode lock.Mode, names ...
 	return func() { db.locks.Release(txn) }, nil
 }
 
+// ClassMetrics reports one priority class's admission activity: volume
+// counters, wall time spent queued, and queued-time quantiles read off
+// the scheduler's per-class log₂-µs histogram (upper bucket edges —
+// factor-of-two resolution, meant for tail monitoring).
+type ClassMetrics struct {
+	Admitted    uint64
+	Rejected    uint64
+	Canceled    uint64
+	Completed   uint64
+	QueuedTotal time.Duration
+	QueuedMax   time.Duration
+	QueuePeak   int // high-water mark of this class's wait queue
+
+	QueuedP50 time.Duration
+	QueuedP95 time.Duration
+	QueuedP99 time.Duration
+
+	ReservedPages int // pages only this class's grants may draw
+}
+
 // SessionMetrics reports the admission scheduler's and memory broker's
 // activity counters: how many queries were admitted, rejected and
-// completed, wall time spent queued, and the grant accounting (the peak
-// can never exceed MemoryPages — the broker's no-over-grant invariant).
+// completed (totals plus the per-class split), wall time spent queued,
+// and the grant accounting (the peak can never exceed MemoryPages — the
+// broker's no-over-grant invariant).
 type SessionMetrics struct {
 	Admitted    uint64
 	Rejected    uint64
@@ -289,8 +389,12 @@ type SessionMetrics struct {
 	Completed   uint64
 	QueuedTotal time.Duration
 	QueuedMax   time.Duration
-	QueuePeak   int
+	QueuePeak   int // high-water mark of total queued waiters, all classes
 	RunningPeak int
+
+	// PerClass splits the admission counters by priority class, indexed
+	// by QueryClass (PerClass[Interactive], PerClass[Batch]).
+	PerClass [NumClasses]ClassMetrics
 
 	MemoryPages      int    // the brokered budget |M|
 	GrantedPages     int    // pages currently out on grant
@@ -301,13 +405,14 @@ type SessionMetrics struct {
 // SessionMetrics returns a snapshot of scheduler and broker activity.
 func (db *Database) SessionMetrics() SessionMetrics {
 	m := db.sched.Metrics()
-	return SessionMetrics{
-		Admitted:    m.Admitted,
-		Rejected:    m.Rejected,
-		Canceled:    m.Canceled,
-		Completed:   m.Completed,
-		QueuedTotal: m.QueuedTotal,
-		QueuedMax:   m.QueuedMax,
+	t := m.Total()
+	sm := SessionMetrics{
+		Admitted:    t.Admitted,
+		Rejected:    t.Rejected,
+		Canceled:    t.Canceled,
+		Completed:   t.Completed,
+		QueuedTotal: t.QueuedTotal,
+		QueuedMax:   t.QueuedMax,
 		QueuePeak:   m.QueuePeak,
 		RunningPeak: m.RunningPeak,
 
@@ -316,4 +421,21 @@ func (db *Database) SessionMetrics() SessionMetrics {
 		PeakGrantedPages: db.broker.Peak(),
 		Grants:           db.broker.Grants(),
 	}
+	for c := range sm.PerClass {
+		pc := m.PerClass[c]
+		sm.PerClass[c] = ClassMetrics{
+			Admitted:      pc.Admitted,
+			Rejected:      pc.Rejected,
+			Canceled:      pc.Canceled,
+			Completed:     pc.Completed,
+			QueuedTotal:   pc.QueuedTotal,
+			QueuedMax:     pc.QueuedMax,
+			QueuePeak:     pc.QueuePeak,
+			QueuedP50:     pc.Queued.Quantile(0.50),
+			QueuedP95:     pc.Queued.Quantile(0.95),
+			QueuedP99:     pc.Queued.Quantile(0.99),
+			ReservedPages: db.broker.Reserved(QueryClass(c)),
+		}
+	}
+	return sm
 }

@@ -6,6 +6,7 @@ import (
 
 	"mmdb/internal/lock"
 	"mmdb/internal/planner"
+	"mmdb/internal/session"
 	"mmdb/internal/simio"
 )
 
@@ -131,15 +132,15 @@ func (qp *QueryPlan) Execute() (*Relation, error) {
 		return qp.db.adoptFile(based)
 	}
 	ctx := context.Background()
-	if _, err := qp.db.sched.Admit(ctx); err != nil {
+	if _, err := qp.db.sched.Admit(ctx, session.Batch); err != nil {
 		return nil, err
 	}
-	defer qp.db.sched.Done()
-	granted, err := qp.db.broker.Reserve(ctx, qp.query.M)
+	defer qp.db.sched.Done(session.Batch)
+	granted, err := qp.db.broker.Reserve(ctx, session.Batch, qp.query.M)
 	if err != nil {
 		return nil, err
 	}
-	defer qp.db.broker.Release(granted)
+	defer qp.db.broker.Release(session.Batch, granted)
 	names := make([]string, len(qp.query.Tables))
 	for i, t := range qp.query.Tables {
 		names[i] = t.Name

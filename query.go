@@ -34,13 +34,16 @@ type JoinResult struct {
 	Partitions int
 }
 
-// withSession runs fn inside a one-shot admitted session: the path behind
-// every Database-level query method. With the default options (one slot,
-// whole-|M| grants) this reproduces the serial engine exactly while making
-// concurrent callers safe; with MaxConcurrentQueries > 1 the calls
-// interleave under brokered memory.
-func (db *Database) withSession(ctx context.Context, fn func(s *Session) error) error {
-	s, err := db.NewSession(ctx)
+// withSession runs fn inside a one-shot admitted session: the single
+// context-first implementation behind every Database-level query method
+// (the exported Join/JoinContext, Aggregate/AggregateContext, … pairs
+// are all thin wrappers over it). One-shot queries admit under the Batch
+// class unless opts say otherwise. With the default options (one slot,
+// whole-|M| grants) this reproduces the serial engine exactly while
+// making concurrent callers safe; with MaxConcurrentQueries > 1 the
+// calls interleave under brokered memory.
+func (db *Database) withSession(ctx context.Context, fn func(s *Session) error, opts ...SessionOption) error {
+	s, err := db.NewSession(ctx, opts...)
 	if err != nil {
 		return err
 	}
@@ -50,13 +53,14 @@ func (db *Database) withSession(ctx context.Context, fn func(s *Session) error) 
 
 // Join runs an equijoin between two relations, streaming joined pairs to
 // emit (pass nil to count only). The smaller relation is used as the build
-// side automatically.
+// side automatically. Thin wrapper over JoinContext with a background
+// context.
 func (db *Database) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple)) (JoinResult, error) {
 	return db.JoinContext(context.Background(), algorithm, left, right, leftCol, rightCol, emit)
 }
 
-// JoinContext is Join honoring ctx for admission queueing, lock waits and
-// the per-query deadline.
+// JoinContext is the context-first Join: ctx governs admission queueing,
+// lock waits and the per-query deadline.
 func (db *Database) JoinContext(ctx context.Context, algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple)) (JoinResult, error) {
 	var res JoinResult
 	err := db.withSession(ctx, func(s *Session) error {
@@ -95,13 +99,14 @@ func (g GroupRow) Value(f AggFunc) float64 {
 
 // Aggregate computes per-group count/sum/min/max/avg of an int64 value
 // column, grouped by groupCol, using the §3.9 one-pass hashing algorithm
-// (spilling hybrid-style if the result exceeds memory).
+// (spilling hybrid-style if the result exceeds memory). Thin wrapper
+// over AggregateContext with a background context.
 func (db *Database) Aggregate(relation, groupCol, valueCol string) ([]GroupRow, error) {
 	return db.AggregateContext(context.Background(), relation, groupCol, valueCol)
 }
 
-// AggregateContext is Aggregate honoring ctx for admission queueing, lock
-// waits and the per-query deadline.
+// AggregateContext is the context-first Aggregate: ctx governs admission
+// queueing, lock waits and the per-query deadline.
 func (db *Database) AggregateContext(ctx context.Context, relation, groupCol, valueCol string) ([]GroupRow, error) {
 	var out []GroupRow
 	err := db.withSession(ctx, func(s *Session) error {
@@ -115,9 +120,16 @@ func (db *Database) AggregateContext(ctx context.Context, relation, groupCol, va
 // OrderBy streams the relation's rows in ascending order of the named
 // column, using the §3.4 sort machinery (replacement-selection runs plus
 // an n-way merge) within the database's memory budget. Run IO is charged
-// on the virtual clock exactly as in the sort-merge join.
+// on the virtual clock exactly as in the sort-merge join. Thin wrapper
+// over OrderByContext with a background context.
 func (db *Database) OrderBy(relation, column string, fn func(Tuple) bool) error {
-	return db.withSession(context.Background(), func(s *Session) error {
+	return db.OrderByContext(context.Background(), relation, column, fn)
+}
+
+// OrderByContext is the context-first OrderBy: ctx governs admission
+// queueing, lock waits and the per-query deadline.
+func (db *Database) OrderByContext(ctx context.Context, relation, column string, fn func(Tuple) bool) error {
+	return db.withSession(ctx, func(s *Session) error {
 		return s.OrderBy(relation, column, fn)
 	})
 }
@@ -125,10 +137,17 @@ func (db *Database) OrderBy(relation, column string, fn func(Tuple) bool) error 
 var orderBySeq atomic.Uint64
 
 // Distinct returns the distinct values of a column (§3.9 projection with
-// duplicate elimination).
+// duplicate elimination). Thin wrapper over DistinctContext with a
+// background context.
 func (db *Database) Distinct(relation, column string) ([]Value, error) {
+	return db.DistinctContext(context.Background(), relation, column)
+}
+
+// DistinctContext is the context-first Distinct: ctx governs admission
+// queueing, lock waits and the per-query deadline.
+func (db *Database) DistinctContext(ctx context.Context, relation, column string) ([]Value, error) {
 	var out []Value
-	err := db.withSession(context.Background(), func(s *Session) error {
+	err := db.withSession(ctx, func(s *Session) error {
 		var err error
 		out, err = s.Distinct(relation, column)
 		return err

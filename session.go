@@ -9,6 +9,7 @@ import (
 	"mmdb/internal/agg"
 	"mmdb/internal/catalog"
 	"mmdb/internal/cost"
+	"mmdb/internal/expr"
 	"mmdb/internal/extsort"
 	"mmdb/internal/heap"
 	"mmdb/internal/join"
@@ -36,6 +37,7 @@ type Session struct {
 	txn     wal.TxnID
 	clock   *cost.Clock
 	view    *simio.Disk
+	class   QueryClass
 	granted int
 	queued  time.Duration
 	cancel  context.CancelFunc
@@ -45,27 +47,38 @@ type Session struct {
 	closed bool
 }
 
-// NewSession admits a query context: it waits for a scheduler slot (FIFO,
-// honoring ctx cancellation and deadlines, rejecting with ErrOverloaded
-// when the wait queue is full) and reserves a memory grant. Close must be
-// called when the session's queries are done.
-func (db *Database) NewSession(ctx context.Context) (*Session, error) {
+// NewSession admits a query context: it waits for a scheduler slot (FIFO
+// within its priority class, the pick policy deciding between classes;
+// honoring ctx cancellation and deadlines; rejecting with an
+// *OverloadError wrapping ErrOverloaded when the class's wait queue is
+// full) and reserves a memory grant. Sessions default to the Batch class
+// and the policy-default grant; pass WithClass / WithMinPages to
+// override:
+//
+//	s, err := db.NewSession(ctx, mmdb.WithClass(mmdb.Interactive))
+//
+// Close must be called when the session's queries are done.
+func (db *Database) NewSession(ctx context.Context, opts ...SessionOption) (*Session, error) {
+	cfg := defaultSessionConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	var cancel context.CancelFunc
 	if db.opts.QueryTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
 			ctx, cancel = context.WithTimeout(ctx, db.opts.QueryTimeout)
 		}
 	}
-	queued, err := db.sched.Admit(ctx)
+	queued, err := db.sched.Admit(ctx, cfg.class)
 	if err != nil {
 		if cancel != nil {
 			cancel()
 		}
 		return nil, err
 	}
-	granted, err := db.broker.Reserve(ctx, 0)
+	granted, err := db.broker.Reserve(ctx, cfg.class, cfg.minPages)
 	if err != nil {
-		db.sched.Done()
+		db.sched.Done(cfg.class)
 		if cancel != nil {
 			cancel()
 		}
@@ -77,6 +90,7 @@ func (db *Database) NewSession(ctx context.Context) (*Session, error) {
 		txn:     db.locks.NextID(),
 		clock:   clock,
 		view:    db.disk.View(clock),
+		class:   cfg.class,
 		granted: granted,
 		queued:  queued,
 		cancel:  cancel,
@@ -96,13 +110,16 @@ func (s *Session) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.db.locks.Release(s.txn)
-	s.db.broker.Release(s.granted)
-	s.db.sched.Done()
+	s.db.broker.Release(s.class, s.granted)
+	s.db.sched.Done(s.class)
 	s.db.clock.Charge(s.clock.Counters())
 	if s.cancel != nil {
 		s.cancel()
 	}
 }
+
+// Class returns the session's admission priority class.
+func (s *Session) Class() QueryClass { return s.class }
 
 // GrantedPages returns the session's memory grant (its |M|).
 func (s *Session) GrantedPages() int { return s.granted }
@@ -249,6 +266,32 @@ func (s *Session) Distinct(relation, column string) ([]Value, error) {
 		return nil, fmt.Errorf("mmdb: %s has no column %q", relation, column)
 	}
 	return agg.Distinct(files[0], col, s.granted, s.db.opts.Params.F, s.db.opts.Parallelism)
+}
+
+// Select scans the predicate's relation, streaming rows that satisfy p
+// to fn until it returns false — the short interactive lookup path, run
+// under the session's admission class with IO and comparisons charged to
+// the session clock. See Relation.Select for the serial equivalent.
+func (s *Session) Select(p *Pred, fn func(Tuple) bool) error {
+	if err := p.Err(); err != nil {
+		return err
+	}
+	_, files, err := s.lockAndView(p.rel.Name)
+	if err != nil {
+		return err
+	}
+	leaves := int64(0)
+	p.inner.Walk(func(*expr.Comparison) { leaves++ })
+	if leaves == 0 {
+		leaves = 1
+	}
+	return files[0].Scan(simio.Seq, func(t Tuple) bool {
+		s.clock.Comps(leaves)
+		if p.inner.Eval(t) {
+			return fn(t)
+		}
+		return true
+	})
 }
 
 // OrderBy streams the relation's rows in ascending column order using the

@@ -1,0 +1,43 @@
+package mmdb
+
+// SessionOption configures one session at admission time. Options are
+// applied in order; the zero-option call db.NewSession(ctx) admits a
+// Batch-class session with the policy-default memory grant, exactly the
+// pre-option behavior.
+type SessionOption func(*sessionConfig)
+
+// sessionConfig is the resolved per-session admission request.
+type sessionConfig struct {
+	class    QueryClass
+	minPages int
+}
+
+func defaultSessionConfig() sessionConfig {
+	return sessionConfig{class: Batch}
+}
+
+// WithClass admits the session under the given priority class.
+// Interactive sessions are granted freed slots ahead of queued Batch work
+// under StrictPriority (and in weight proportion under WeightedFair), and
+// their memory grants may draw the class's reserved pages. Invalid
+// classes fall back to Batch, the default.
+func WithClass(c QueryClass) SessionOption {
+	return func(cfg *sessionConfig) {
+		if c.Valid() {
+			cfg.class = c
+		}
+	}
+}
+
+// WithMinPages requests an explicit memory grant of at least n pages
+// instead of the policy default: the session's grant is exactly n,
+// clamped to [2, the class's drawable pool]. Use it when a query was
+// costed against a specific |M| and must execute with it. n <= 0 keeps
+// the policy default.
+func WithMinPages(n int) SessionOption {
+	return func(cfg *sessionConfig) {
+		if n > 0 {
+			cfg.minPages = n
+		}
+	}
+}
