@@ -15,6 +15,7 @@
 //	mmdbench -exp checkpoint          # §5.3/§5.5 checkpoint sweep
 //	mmdbench -exp concurrency -clients 8   # multi-client contention ladder
 //	mmdbench -exp priority            # priority-class admission ladder
+//	mmdbench -exp chaos               # fault-plane chaos ladder
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|chaos")
 	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
 	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
 	par := flag.Int("parallel", 1, "worker goroutines for executed join operators (1 = serial, -1 = GOMAXPROCS); virtual times are identical, wall time shrinks")
@@ -144,5 +145,19 @@ func main() {
 		}
 		res.Print(os.Stdout)
 		return res.WriteJSON("BENCH_priority.json")
+	})
+	run("chaos", func() error {
+		res, err := experiments.RunChaos(experiments.DefaultChaosConfig())
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		if err := res.WriteJSON("BENCH_chaos.json"); err != nil {
+			return err
+		}
+		if !res.AllHold {
+			return fmt.Errorf("chaos ladder: invariants violated (see BENCH_chaos.json)")
+		}
+		return nil
 	})
 }

@@ -1,0 +1,229 @@
+package mmdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func pairSchema() *Schema {
+	return MustSchema(
+		Field{Name: "k", Kind: Int64},
+		Field{Name: "pad", Kind: String, Size: 16},
+	)
+}
+
+// loadPair loads two equally sized relations r and s whose keys collide
+// 5x5 per value: n tuples each over n/5 distinct keys.
+func loadPair(t *testing.T, db *Database, n int) {
+	t.Helper()
+	for _, name := range []string{"r", "s"} {
+		rel, err := db.CreateRelation(name, pairSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := rel.Insert(IntValue(int64(i%(n/5))), StringValue(fmt.Sprintf("%s%04d", name, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rel.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// joinPairs runs the join on a session collecting the emitted pair
+// multiset.
+func joinPairs(t *testing.T, s *Session, alg JoinAlgorithm) (map[string]int, JoinResult, error) {
+	t.Helper()
+	got := map[string]int{}
+	res, err := s.Join(alg, "r", "s", "k", "k", func(l, r Tuple) {
+		got[fmt.Sprintf("%x|%x", []byte(l), []byte(r))]++
+	})
+	return got, res, err
+}
+
+func samePairs(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShedMemoryDegradesJoin revokes most of a session's memory grant
+// while a hybrid hash join is probing (from inside the emit callback, so
+// the timing is deterministic) and asserts the join degrades to the GRACE
+// spill fallback with a bit-identical result.
+func TestShedMemoryDegradesJoin(t *testing.T) {
+	db, err := Open(Options{PageSize: 512, MemoryPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadPair(t, db, 500)
+
+	base, err := db.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wres, err := joinPairs(t, base, HybridHash)
+	base.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Degraded {
+		t.Fatal("baseline run reported degradation")
+	}
+
+	s, err := db.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if g := s.GrantedPages(); g != 64 {
+		t.Fatalf("granted %d pages, want 64", g)
+	}
+	got := map[string]int{}
+	shed := false
+	res, err := s.Join(HybridHash, "r", "s", "k", "k", func(l, r Tuple) {
+		got[fmt.Sprintf("%x|%x", []byte(l), []byte(r))]++
+		if !shed {
+			shed = true
+			if n := s.ShedMemory(1000); n != 62 {
+				t.Errorf("shed %d pages, want 62 (down to the 2-page floor)", n)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("revoked grant did not degrade the join")
+	}
+	if res.Matches != wres.Matches || !samePairs(got, want) {
+		t.Fatalf("degraded join diverged: %d matches, want %d", res.Matches, wres.Matches)
+	}
+	if g := s.GrantedPages(); g != MinGrantPages {
+		t.Fatalf("post-shed grant %d, want %d", g, MinGrantPages)
+	}
+	s.Close()
+	if g := db.SessionMetrics().GrantedPages; g != 0 {
+		t.Fatalf("broker still holds %d granted pages after Close", g)
+	}
+}
+
+// TestWithRetrySurvivesTransientFaults arms a one-shot transient burst
+// long enough to kill two whole query attempts and asserts a WithRetry
+// session absorbs them: the third attempt succeeds with the exact
+// fault-free result, and no pairs from the failed attempts leak out.
+func TestWithRetrySurvivesTransientFaults(t *testing.T) {
+	db, err := Open(Options{PageSize: 512, MemoryPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadPair(t, db, 500)
+
+	base, err := db.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wres, err := joinPairs(t, base, GraceHash)
+	base.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst 12 at the 10th charged IO: the write path's bounded retry (5
+	// attempts per page) exhausts twice — two query attempts die — and the
+	// third attempt absorbs the 2-fault remainder.
+	inj := NewFaultInjector(3).TransientAt("", 10, 12)
+	db.ArmFaults(inj)
+	defer db.ArmFaults(nil)
+
+	s, err := db.NewSession(context.Background(), WithRetry(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, res, err := joinPairs(t, s, GraceHash)
+	if err != nil {
+		t.Fatalf("retried query failed: %v", err)
+	}
+	if res.Matches != wres.Matches || !samePairs(got, want) {
+		t.Fatalf("retried join diverged: %d matches, want %d", res.Matches, wres.Matches)
+	}
+	if tr := inj.Stats().Transient; tr != 12 {
+		t.Fatalf("injected %d transients, want the whole burst of 12", tr)
+	}
+}
+
+// TestWithoutRetryTransientFaultSurfaces is the control: the same burst
+// kills a session without WithRetry, and the error carries the full
+// taxonomy.
+func TestWithoutRetryTransientFaultSurfaces(t *testing.T) {
+	db, err := Open(Options{PageSize: 512, MemoryPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadPair(t, db, 500)
+	db.ArmFaults(NewFaultInjector(3).TransientAt("", 10, 12))
+	defer db.ArmFaults(nil)
+
+	s, err := db.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, _, err = joinPairs(t, s, GraceHash)
+	if err == nil {
+		t.Fatal("transient burst was swallowed without WithRetry")
+	}
+	if !errors.Is(err, ErrFaultTransient) || !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("error lost its taxonomy: %v", err)
+	}
+}
+
+// TestRetryDoesNotMaskPermanentFaults verifies WithRetry gives up
+// immediately on a permanent failure, and that disarming restores the
+// database.
+func TestRetryDoesNotMaskPermanentFaults(t *testing.T) {
+	db, err := Open(Options{PageSize: 512, MemoryPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadPair(t, db, 500)
+
+	inj := NewFaultInjector(5).PermanentAfter("", 10)
+	db.ArmFaults(inj)
+	s, err := db.NewSession(context.Background(), WithRetry(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = joinPairs(t, s, GraceHash)
+	s.Close()
+	if !errors.Is(err, ErrFaultPermanent) {
+		t.Fatalf("want a permanent fault, got %v", err)
+	}
+	// A single failing attempt injects exactly one permanent verdict per
+	// IO past the threshold; a retry storm would multiply them. Allow the
+	// one attempt's worth and no more.
+	if perm := inj.Stats().Permanent; perm != 1 {
+		t.Fatalf("permanent fault consulted %d times: WithRetry retried a dead device", perm)
+	}
+
+	db.ArmFaults(nil)
+	s2, err := db.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, err := joinPairs(t, s2, GraceHash); err != nil {
+		t.Fatalf("disarmed database still failing: %v", err)
+	}
+}

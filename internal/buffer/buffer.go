@@ -15,6 +15,8 @@ import (
 	"math/rand"
 
 	"mmdb/internal/cost"
+	"mmdb/internal/fault"
+	"mmdb/internal/simio"
 )
 
 // Policy selects the replacement algorithm. Random is the paper's §2
@@ -142,6 +144,44 @@ func (p *Pool) Touch(key PageKey) bool {
 	}
 	p.insert(key)
 	return true
+}
+
+// ReadThrough is the fault-plane-aware page access: it records an access
+// to page n of space and, on a buffer fault, performs the actual disk read
+// with bounded virtual-time retry for injected transient faults
+// (fault.Retry). A hit reads the page uncharged — the page is memory
+// resident, the disk is not touched. It returns the page data, whether the
+// access faulted, and the (retry-exhausted or permanent) error if the
+// device could not serve the read.
+func (p *Pool) ReadThrough(space *simio.Space, n int, a simio.Access) ([]byte, bool, error) {
+	key := PageKey{Space: space.Name(), Page: n}
+	p.stats.Accesses++
+	if el, ok := p.resident[key]; ok {
+		p.stats.Hits++
+		switch p.policy {
+		case LRU:
+			p.order.MoveToFront(el)
+		case Clock:
+			p.ref[key] = true
+		}
+		data, err := space.Read(n, simio.Uncharged)
+		return data, false, err
+	}
+	p.stats.Faults++
+	var data []byte
+	err := fault.Retry(p.clock, 0, func() error {
+		d, e := space.Read(n, a)
+		data = d
+		return e
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	if len(p.resident) >= p.capacity {
+		p.evict()
+	}
+	p.insert(key)
+	return data, true, nil
 }
 
 // Warm loads key without counting an access or charging a fault; used to

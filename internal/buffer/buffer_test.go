@@ -1,11 +1,14 @@
 package buffer
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"mmdb/internal/cost"
+	"mmdb/internal/fault"
+	"mmdb/internal/simio"
 )
 
 func key(p int) PageKey { return PageKey{Space: "s", Page: p} }
@@ -147,4 +150,57 @@ func TestResident(t *testing.T) {
 	if !p.Resident(key(1)) || p.Resident(key(2)) {
 		t.Fatal("Resident broken")
 	}
+}
+
+func TestReadThroughRetriesTransients(t *testing.T) {
+	clock := cost.NewClock(cost.DefaultParams())
+	disk := simio.NewDisk(clock, 64)
+	sp := disk.MustCreate("s")
+	for i := 0; i < 4; i++ {
+		if _, err := sp.Append([]byte{byte(i + 1)}, simio.Uncharged); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk.SetInjector(&failFirst{}) // the first charged read fails transiently
+	p := New(2, LRU, clock, 1)
+
+	data, faulted, err := p.ReadThrough(sp, 0, simio.Rand)
+	if err != nil || !faulted || data[0] != 1 {
+		t.Fatalf("faulting read: data=%v faulted=%v err=%v", data, faulted, err)
+	}
+	if got := clock.Counters().RandIOs; got != 1 {
+		t.Fatalf("faulting read charged %d rand IOs (failed attempt must not charge)", got)
+	}
+	// Hit: served from memory, uncharged, injector not consulted.
+	data, faulted, err = p.ReadThrough(sp, 0, simio.Rand)
+	if err != nil || faulted || data[0] != 1 {
+		t.Fatalf("hit: data=%v faulted=%v err=%v", data, faulted, err)
+	}
+	if got := clock.Counters().RandIOs; got != 1 {
+		t.Fatalf("hit charged IO: %d", got)
+	}
+	s := p.Stats()
+	if s.Accesses != 2 || s.Faults != 1 || s.Hits != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// A permanent failure is not retried and surfaces to the caller.
+	disk.SetInjector(fault.NewInjector(1).PermanentAfter("s", 0))
+	if _, _, err := p.ReadThrough(sp, 1, simio.Rand); !errors.Is(err, fault.ErrPermanent) {
+		t.Fatalf("permanent fault: %v", err)
+	}
+	if p.Resident(PageKey{Space: "s", Page: 1}) {
+		t.Fatal("failed read inserted the page")
+	}
+}
+
+// failFirst fails the first charged IO with a transient fault.
+type failFirst struct{ n int }
+
+func (f *failFirst) ChargedIO(string, simio.Access) simio.Outcome {
+	f.n++
+	if f.n == 1 {
+		return simio.Outcome{Err: fault.ErrTransient}
+	}
+	return simio.Outcome{}
 }

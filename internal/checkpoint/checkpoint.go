@@ -163,7 +163,14 @@ func (c *Checkpointer) writeWhenDurable(pick int, img []byte, last wal.LSN) {
 		})
 		return
 	}
-	done := c.disk.Write(c.sim.Now(), img)
+	done, ok := c.disk.Write(c.sim.Now(), img)
+	if !ok {
+		// The checkpoint device lost the write. The snapshot keeps its old
+		// image (still consistent with its first-update entry), so recovery
+		// simply replays more log; the checkpointer stops making progress.
+		c.writing = false
+		return
+	}
 	c.sim.At(done, func() {
 		c.snap.Install(pick, img)
 		delete(c.pending, pick)

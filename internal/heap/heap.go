@@ -7,6 +7,7 @@ package heap
 import (
 	"fmt"
 
+	"mmdb/internal/fault"
 	"mmdb/internal/page"
 	"mmdb/internal/simio"
 	"mmdb/internal/tuple"
@@ -121,8 +122,15 @@ func (f *File) Flush(a simio.Access) error {
 	return f.writeCur(a)
 }
 
+// writeCur flushes the append buffer to disk. Injected transient device
+// faults are absorbed by bounded retry with virtual-time backoff; anything
+// else (permanent failures, plain injected errors) propagates immediately.
 func (f *File) writeCur(a simio.Access) error {
-	if _, err := f.space.Append(f.cur.Bytes(), a); err != nil {
+	err := fault.Retry(f.disk.Clock(), 0, func() error {
+		_, e := f.space.Append(f.cur.Bytes(), a)
+		return e
+	})
+	if err != nil {
 		return err
 	}
 	f.cur.Reset()
@@ -131,10 +139,16 @@ func (f *File) writeCur(a simio.Access) error {
 
 // ReadPage returns the n-th page of the file. The append buffer, if
 // non-empty, is addressable as page NumPages()-1 and never charges IO.
+// Like writeCur, injected transient faults are absorbed by bounded retry.
 func (f *File) ReadPage(n int, a simio.Access) (page.TuplePage, error) {
 	flushed := f.space.NumPages()
 	if n < flushed {
-		data, err := f.space.Read(n, a)
+		var data []byte
+		err := fault.Retry(f.disk.Clock(), 0, func() error {
+			d, e := f.space.Read(n, a)
+			data = d
+			return e
+		})
 		if err != nil {
 			return page.TuplePage{}, err
 		}

@@ -1,0 +1,133 @@
+package join
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"mmdb/internal/tuple"
+)
+
+// revocableGrant simulates the session broker shrinking a grant mid-query:
+// it reports full pages for the first `after` consultations, then the
+// shrunken value.
+type revocableGrant struct {
+	full, shrunken int
+	after          int64
+	calls          atomic.Int64
+}
+
+func (g *revocableGrant) pages() int {
+	if g.calls.Add(1) > g.after {
+		return g.shrunken
+	}
+	return g.full
+}
+
+// TestGrantRevocationFallsBackToGrace revokes hybrid hash's memory grant
+// mid-build on the two-pass path and asserts the join completes via the
+// GRACE spill fallback with the exact oracle result.
+func TestGrantRevocationFallsBackToGrace(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 400, 100, 41)
+	s := makeRelation(t, disk, "S", 400, 100, 42)
+	// M=12 keeps a real resident partition (q ≈ 20%, ~80 tuples) while
+	// still forcing the two-pass path (|R|F ≈ 41 pages).
+	base := Spec{R: r, S: s, M: 12}
+	want, _ := matches(t, NestedLoops, base)
+
+	// The grant is consulted once per resident insert — revoke it twenty
+	// inserts into the build.
+	grant := &revocableGrant{full: 12, shrunken: 2, after: 20}
+	spec := base
+	spec.LiveM = grant.pages
+	got, res := matches(t, HybridHash, spec)
+	if !res.GraceFallback {
+		t.Fatal("revoked grant did not trigger the GRACE fallback")
+	}
+	if !sameMultiset(got, want) {
+		t.Fatal("fallback produced a wrong result")
+	}
+}
+
+// TestGrantRevocationDegenerateAllResident revokes the grant on the
+// degenerate all-of-R-resident path (rf <= m), where the fallback spills
+// the whole build side as a single bucket pair.
+func TestGrantRevocationDegenerateAllResident(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 200, 60, 43)
+	s := makeRelation(t, disk, "S", 200, 60, 44)
+	base := Spec{R: r, S: s, M: 200} // all of R fits
+	want, _ := matches(t, NestedLoops, base)
+
+	grant := &revocableGrant{full: 200, shrunken: 2, after: 40}
+	spec := base
+	spec.LiveM = grant.pages
+	got, res := matches(t, HybridHash, spec)
+	if !res.GraceFallback {
+		t.Fatal("revoked grant did not trigger the fallback on the resident path")
+	}
+	if res.Passes < 2 {
+		t.Fatalf("fallback must add a disk pass, got %d", res.Passes)
+	}
+	if !sameMultiset(got, want) {
+		t.Fatal("fallback produced a wrong result")
+	}
+}
+
+// TestStableGrantDoesNotFallBack wires a live grant that never shrinks:
+// the result must match the grant-less run and no fallback may trigger.
+func TestStableGrantDoesNotFallBack(t *testing.T) {
+	for _, m := range []int{5, 200} {
+		disk, _ := testEnv()
+		r := makeRelation(t, disk, "R", 300, 80, 45)
+		s := makeRelation(t, disk, "S", 300, 80, 46)
+		base := Spec{R: r, S: s, M: m}
+		want, _ := matches(t, HybridHash, base)
+
+		spec := base
+		spec.LiveM = func() int { return m }
+		got, res := matches(t, HybridHash, spec)
+		if res.GraceFallback {
+			t.Fatalf("M=%d: stable grant triggered a fallback", m)
+		}
+		if !sameMultiset(got, want) {
+			t.Fatalf("M=%d: live-grant run diverged from the static run", m)
+		}
+	}
+}
+
+// TestRevocationDuringProbePhase shrinks the grant only once probing has
+// begun (detected by the first emitted match, which can only come from the
+// resident table during the S scan): already-probed S tuples matched the
+// full table, the rest must flow through the spilled pair exactly once.
+func TestRevocationDuringProbePhase(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 400, 100, 47)
+	s := makeRelation(t, disk, "S", 400, 100, 48)
+	base := Spec{R: r, S: s, M: 12}
+	want, _ := matches(t, NestedLoops, base)
+
+	var probing atomic.Bool
+	spec := base
+	spec.LiveM = func() int {
+		if probing.Load() {
+			return 2
+		}
+		return 12
+	}
+	got := make(map[string]int)
+	res, err := Run(HybridHash, spec, func(r, s tuple.Tuple) {
+		got[fmt.Sprintf("%x|%x", []byte(r), []byte(s))]++
+		probing.Store(true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GraceFallback {
+		t.Skip("no partition-0 probe followed the first match at this geometry")
+	}
+	if !sameMultiset(got, want) {
+		t.Fatal("probe-phase fallback produced a wrong result")
+	}
+}

@@ -4,13 +4,17 @@ import (
 	"errors"
 	"testing"
 
+	"mmdb/internal/fault"
 	"mmdb/internal/simio"
 )
 
-// TestIOFaultsPropagateCleanly injects a device failure at every charged
-// IO position of each algorithm's execution and asserts the error
-// surfaces (wrapped, not swallowed, no panic). Algorithms doing no IO at
-// this memory size are skipped once injection stops triggering.
+// TestIOFaultsPropagateCleanly injects a permanent device failure at every
+// charged IO position of each algorithm's execution and asserts the error
+// surfaces (wrapped, not swallowed, no panic). The schedules come from the
+// fault plane's injector — PermanentAfter(n) lets the first n IOs through
+// and fails the rest, the semantics FailAfter used to hard-code.
+// Algorithms doing no IO at this memory size are skipped once injection
+// stops triggering.
 func TestIOFaultsPropagateCleanly(t *testing.T) {
 	for _, alg := range []Algorithm{SortMerge, SimpleHash, GraceHash, HybridHash} {
 		t.Run(alg.String(), func(t *testing.T) {
@@ -32,7 +36,7 @@ func TestIOFaultsPropagateCleanly(t *testing.T) {
 				disk2, _ := testEnv()
 				r2 := makeRelation(t, disk2, "R", 400, 100, 41)
 				s2 := makeRelation(t, disk2, "S", 400, 100, 42)
-				disk2.FailAfter(pos)
+				disk2.SetInjector(fault.NewInjector(1).PermanentAfter("", pos))
 				_, err := Run(alg, Spec{R: r2, S: s2, M: 5}, nil)
 				if err == nil {
 					t.Fatalf("injected failure at IO %d of %d was swallowed", pos, totalIO)
@@ -40,13 +44,16 @@ func TestIOFaultsPropagateCleanly(t *testing.T) {
 				if !errors.Is(err, simio.ErrInjected) {
 					t.Fatalf("error lost its cause: %v", err)
 				}
+				if !errors.Is(err, fault.ErrPermanent) {
+					t.Fatalf("error lost its taxonomy: %v", err)
+				}
 			}
 		})
 	}
 }
 
 // TestFaultsDoNotCorruptSubsequentRuns verifies a failed join leaves the
-// disk usable: disarm the fault and rerun to the oracle's answer.
+// disk usable: disarm the schedule and rerun to the oracle's answer.
 func TestFaultsDoNotCorruptSubsequentRuns(t *testing.T) {
 	disk, _ := testEnv()
 	r := makeRelation(t, disk, "R", 300, 80, 43)
@@ -54,13 +61,55 @@ func TestFaultsDoNotCorruptSubsequentRuns(t *testing.T) {
 	spec := Spec{R: r, S: s, M: 5}
 	want, _ := matches(t, NestedLoops, spec)
 
-	disk.FailAfter(3)
+	disk.SetInjector(fault.NewInjector(1).PermanentAfter("", 3))
 	if _, err := Run(HybridHash, spec, nil); err == nil {
 		t.Fatal("expected injected failure")
 	}
-	disk.FailAfter(-1)
+	disk.SetInjector(nil)
 	got, _ := matches(t, HybridHash, spec)
 	if !sameMultiset(got, want) {
 		t.Fatal("post-failure run produced a wrong result")
+	}
+}
+
+// TestTransientScheduleAbsorbedByWritePath verifies a join under a
+// transient-only schedule completes with the exact fault-free result: the
+// heap write path's bounded retry absorbs the faults.
+func TestTransientScheduleAbsorbedByWritePath(t *testing.T) {
+	oracleDisk, _ := testEnv()
+	r0 := makeRelation(t, oracleDisk, "R", 400, 100, 41)
+	s0 := makeRelation(t, oracleDisk, "S", 400, 100, 42)
+	want, _ := matches(t, NestedLoops, Spec{R: r0, S: s0, M: 5})
+
+	for _, alg := range []Algorithm{SimpleHash, GraceHash, HybridHash} {
+		disk, _ := testEnv()
+		r := makeRelation(t, disk, "R", 400, 100, 41)
+		s := makeRelation(t, disk, "S", 400, 100, 42)
+		inj := fault.NewInjector(7).TransientEvery("tmp.", 5)
+		disk.SetInjector(inj)
+		got, _ := matches(t, alg, Spec{R: r, S: s, M: 5})
+		if !sameMultiset(got, want) {
+			t.Fatalf("%v: transient faults changed the result", alg)
+		}
+		if inj.Stats().Transient == 0 {
+			t.Fatalf("%v: schedule never fired", alg)
+		}
+	}
+}
+
+// TestFailAfterCompatShim keeps the legacy single-shot API working on top
+// of the injector mechanism.
+func TestFailAfterCompatShim(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 300, 80, 43)
+	s := makeRelation(t, disk, "S", 300, 80, 44)
+	disk.FailAfter(0)
+	_, err := Run(GraceHash, Spec{R: r, S: s, M: 5}, nil)
+	if !errors.Is(err, simio.ErrInjected) {
+		t.Fatalf("shim injection: %v", err)
+	}
+	disk.FailAfter(-1)
+	if _, err := Run(GraceHash, Spec{R: r, S: s, M: 5}, nil); err != nil {
+		t.Fatalf("disarm: %v", err)
 	}
 }

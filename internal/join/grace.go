@@ -151,7 +151,9 @@ func joinPartitionPair(spec Spec, rf, sf *heap.File, level uint32, emit Emit, re
 	}
 	clock := spec.R.Disk().Clock()
 	rSchema, sSchema := rf.Schema(), sf.Schema()
-	capacity := tableCapacity(spec.M, rf, spec.F)
+	// Size the bucket table to the grant as of now — a shrunk grant makes
+	// oversized buckets recurse rather than overcommit memory.
+	capacity := tableCapacity(spec.liveM(), rf, spec.F)
 
 	if rf.NumTuples() <= int64(capacity) {
 		hasher := hashjoin.NewHasher(clock, level)

@@ -6,6 +6,7 @@ import (
 
 	"mmdb/internal/exec"
 	"mmdb/internal/hashjoin"
+	"mmdb/internal/heap"
 	"mmdb/internal/simio"
 	"mmdb/internal/tuple"
 )
@@ -33,6 +34,11 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	if rf <= m {
 		// Degenerate case: all of R fits; hybrid == one-pass simple hash.
 		res.Passes = 1
+		if spec.LiveM != nil {
+			// A live grant can be revoked mid-build; the revocable path is
+			// serial so the spill decision is a plain sequential check.
+			return residentJoinLive(spec, emit, res)
+		}
 		if spec.workers() > 1 {
 			return residentJoinParallel(spec, emit)
 		}
@@ -99,8 +105,39 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	}
 
 	// Step 1: scan R. R0 builds the in-memory table; R1..RB go to disk.
+	// Under a live grant the build set is also tracked in `kept` (sharing
+	// the cloned tuples, not copying them) so a mid-query revocation can
+	// spill the resident partition to disk and degrade to pure GRACE.
 	resident := int(q*float64(spec.R.NumTuples())) + 1
 	table := hashjoin.NewTable(clock, rSchema, spec.RCol, resident)
+	var kept []hashjoin.Keyed
+	var spillR, spillS *heap.File
+	perPage := float64(spec.R.TuplesPerPage())
+	shrunk := func() bool {
+		if spec.LiveM == nil {
+			return false
+		}
+		need := int(math.Ceil(float64(len(kept))*spec.F/perPage)) + b
+		return need > spec.liveM()
+	}
+	spill := func() error {
+		res.GraceFallback = true
+		var err error
+		if spillR, err = heap.Create(disk, prefix+".fb.r", rSchema); err != nil {
+			return err
+		}
+		if spillS, err = heap.Create(disk, prefix+".fb.s", sSchema); err != nil {
+			return err
+		}
+		clock.Moves(int64(len(kept)))
+		for _, k := range kept {
+			if err := spillR.Append(k.Tuple, simio.Seq); err != nil {
+				return err
+			}
+		}
+		kept, table = nil, nil
+		return nil
+	}
 	rPart, err := hashjoin.NewPartitioner(disk, clock, rSchema, prefix+".r", b, flush)
 	if err != nil {
 		return err
@@ -108,7 +145,19 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	scanErr := spec.R.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
 		h := hasher.Hash(rSchema.KeyBytes(t, spec.RCol))
 		if p := splitter.Partition(h); p == 0 {
-			table.Insert(h, t.Clone())
+			if table == nil {
+				clock.Moves(1)
+				err = spillR.Append(t.Clone(), simio.Seq)
+				return err == nil
+			}
+			c := t.Clone()
+			table.Insert(h, c)
+			if spec.LiveM != nil {
+				kept = append(kept, hashjoin.Keyed{Hash: h, Tuple: c})
+				if shrunk() {
+					err = spill()
+				}
+			}
 		} else {
 			err = rPart.Add(p-1, t)
 		}
@@ -126,7 +175,9 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	}
 
 	// Step 2: scan S. S0 probes the resident table immediately; S1..SB go
-	// to disk.
+	// to disk. If the grant was (or gets) revoked, S0 is spilled instead
+	// and joins its R counterpart in the bucket phase — every S0 tuple is
+	// matched exactly once either way.
 	sPart, err := hashjoin.NewPartitioner(disk, clock, sSchema, prefix+".s", b, flush)
 	if err != nil {
 		return err
@@ -135,6 +186,16 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 		key := sSchema.KeyBytes(t, spec.SCol)
 		h := hasher.Hash(key)
 		if p := splitter.Partition(h); p == 0 {
+			if table != nil && shrunk() {
+				if err = spill(); err != nil {
+					return false
+				}
+			}
+			if table == nil {
+				clock.Moves(1)
+				err = spillS.Append(t.Clone(), simio.Seq)
+				return err == nil
+			}
 			table.Probe(h, key, func(r tuple.Tuple) {
 				emit(r, t)
 			})
@@ -153,11 +214,117 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	if err != nil {
 		return err
 	}
-	table = nil // release R0 before the bucket joins
+	table, kept = nil, nil // release R0 before the bucket joins
+	if spillR != nil {
+		if err := spillR.Flush(simio.Seq); err != nil {
+			return err
+		}
+		if err := spillS.Flush(simio.Seq); err != nil {
+			return err
+		}
+		rParts = append(rParts, hashjoin.PartitionResult{File: spillR, Tuples: spillR.NumTuples()})
+		sParts = append(sParts, hashjoin.PartitionResult{File: spillS, Tuples: spillS.NumTuples()})
+	}
 
 	// Steps 3–4: join the disk partitions pairwise. Like GRACE buckets,
 	// the pairs are independent and fan out across the worker pool.
 	return joinPartitionPairs(exec.NewPool(spec.Parallelism), context.Background(), spec, rParts, sParts, emit, res)
+}
+
+// residentJoinLive is hybrid's degenerate all-of-R-resident case under a
+// live memory grant: it builds and probes like the serial path, but tracks
+// the build set so a mid-query grant revocation can spill it to disk and
+// finish as a single GRACE bucket pair instead of failing.
+func residentJoinLive(spec Spec, emit Emit, res *Result) error {
+	disk := spec.R.Disk()
+	clock := disk.Clock()
+	rSchema, sSchema := spec.R.Schema(), spec.S.Schema()
+	prefix := tmpPrefix(HybridHash)
+	hasher := hashjoin.NewHasher(clock, 0)
+	perPage := float64(spec.R.TuplesPerPage())
+
+	table := hashjoin.NewTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()))
+	var kept []hashjoin.Keyed
+	var spillR, spillS *heap.File
+	shrunk := func() bool {
+		need := int(math.Ceil(float64(len(kept)) * spec.F / perPage))
+		return need > spec.liveM()
+	}
+	spill := func() error {
+		res.GraceFallback = true
+		var err error
+		if spillR, err = heap.Create(disk, prefix+".fb.r", rSchema); err != nil {
+			return err
+		}
+		if spillS, err = heap.Create(disk, prefix+".fb.s", sSchema); err != nil {
+			return err
+		}
+		clock.Moves(int64(len(kept)))
+		for _, k := range kept {
+			if err := spillR.Append(k.Tuple, simio.Seq); err != nil {
+				return err
+			}
+		}
+		kept, table = nil, nil
+		return nil
+	}
+
+	var err error
+	scanErr := spec.R.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+		if table == nil {
+			clock.Moves(1)
+			err = spillR.Append(t.Clone(), simio.Seq)
+			return err == nil
+		}
+		h := hasher.Hash(rSchema.KeyBytes(t, spec.RCol))
+		c := t.Clone()
+		table.Insert(h, c)
+		kept = append(kept, hashjoin.Keyed{Hash: h, Tuple: c})
+		if shrunk() {
+			err = spill()
+		}
+		return err == nil
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if err != nil {
+		return err
+	}
+	scanErr = spec.S.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+		if table != nil && shrunk() {
+			if err = spill(); err != nil {
+				return false
+			}
+		}
+		if table == nil {
+			clock.Moves(1)
+			err = spillS.Append(t.Clone(), simio.Seq)
+			return err == nil
+		}
+		key := sSchema.KeyBytes(t, spec.SCol)
+		table.Probe(hasher.Hash(key), key, func(r tuple.Tuple) {
+			emit(r, t)
+		})
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if err != nil {
+		return err
+	}
+	if spillR == nil {
+		return nil
+	}
+	if err := spillR.Flush(simio.Seq); err != nil {
+		return err
+	}
+	if err := spillS.Flush(simio.Seq); err != nil {
+		return err
+	}
+	res.Passes = 2
+	return joinPartitionPair(spec, spillR, spillS, 1, emit, res)
 }
 
 // residentJoinParallel is the all-of-R-resident case with build and probe

@@ -66,6 +66,15 @@ type Spec struct {
 	// variance. 0 means 1.25; 1.0 reproduces the paper's formula verbatim
 	// (and risks the recursive overflow pass of §3.3).
 	HybridSkew float64
+	// LiveM, when non-nil, reports the join's memory grant in pages as of
+	// now: the session broker can shrink or revoke a grant mid-query, and
+	// hybrid hash responds by spilling its resident partition and falling
+	// back to GRACE-style recursive bucket joins instead of failing
+	// (Result.GraceFallback records that this happened). M remains the
+	// planning-time grant used to pick partition counts. The function must
+	// be safe to call from multiple goroutines and is never trusted below
+	// the 2-page floor every join path assumes.
+	LiveM func() int
 	// Parallelism bounds the worker goroutines the partition phases of
 	// GRACE and hybrid hash may use: the bucket pairs of §3.6/§3.7 are
 	// independent, so they fan out over a worker pool. 0 or 1 means
@@ -81,6 +90,18 @@ type Spec struct {
 
 // workers returns the effective worker count for the spec.
 func (s Spec) workers() int { return exec.Workers(s.Parallelism) }
+
+// liveM returns the memory currently granted, in pages: M when no live
+// grant is wired, otherwise LiveM() clamped to the 2-page floor.
+func (s Spec) liveM() int {
+	if s.LiveM == nil {
+		return s.M
+	}
+	if m := s.LiveM(); m >= 2 {
+		return m
+	}
+	return 2
+}
 
 func (s Spec) withDefaults() Spec {
 	if s.F == 0 {
@@ -125,6 +146,9 @@ type Result struct {
 	Elapsed    time.Duration // virtual time consumed
 	Passes     int           // simple hash: passes; hash joins: 1 + recursion depth
 	Partitions int           // disk partitions created at the top level
+	// GraceFallback reports that a mid-query memory-grant revocation made
+	// hybrid hash spill its resident partition and finish GRACE-style.
+	GraceFallback bool
 }
 
 // Time returns the join's virtual execution time under p.

@@ -161,3 +161,121 @@ func TestSnapshotInstallValidation(t *testing.T) {
 		t.Fatal("out-of-range snapshot page accepted")
 	}
 }
+
+// TestChecksumCorruptRecordCutsLogMidPage flips one byte inside a
+// mid-page update record: the tolerant page decode must stop at the last
+// intact record, recovery must run on the surviving prefix (transaction 1
+// committed, transaction 2 reduced to a harmless Begin), and everything
+// encoded after the damage — including transaction 3's durable-looking
+// commit on a later page — must be treated as never written.
+func TestChecksumCorruptRecordCutsLogMidPage(t *testing.T) {
+	page1 := []wal.Record{
+		rec(1, 1, wal.Begin, 0, 0, 0),
+		rec(2, 1, wal.Update, 1, 0, 7),
+		rec(3, 1, wal.Commit, 0, 0, 0),
+		rec(4, 2, wal.Begin, 0, 0, 0),
+		rec(5, 2, wal.Update, 2, 0, 8),
+	}
+	page2 := []wal.Record{
+		rec(6, 2, wal.Commit, 0, 0, 0),
+		rec(7, 3, wal.Begin, 0, 0, 0),
+		rec(8, 3, wal.Update, 3, 0, 9),
+		rec(9, 3, wal.Commit, 0, 0, 0),
+	}
+	img1, err := wal.EncodePage(page1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := wal.EncodePage(page2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte in the pre-image of transaction 2's update, the last
+	// record of page 1; the four records before it stay intact.
+	intact := 0
+	for _, r := range page1[:4] {
+		intact += r.EncodedSize()
+	}
+	img1[6+intact+30] ^= 0xFF
+
+	var log []wal.Record
+	for _, img := range [][]byte{img1, img2} {
+		recs, ok := wal.DecodePageTail(img)
+		log = append(log, recs...)
+		if !ok {
+			break // FIFO device: nothing after a damaged page is durable
+		}
+	}
+	if len(log) != 4 {
+		t.Fatalf("decoded %d records from the damaged fragment, want 4", len(log))
+	}
+
+	st, info, err := Recover(input(log))
+	if err != nil {
+		t.Fatalf("recovery over the cut log failed: %v", err)
+	}
+	if !info.Committed[1] || info.Committed[2] || info.Committed[3] {
+		t.Fatalf("committed set wrong: %v", info.Committed)
+	}
+	if len(info.Losers) != 0 {
+		t.Fatalf("no loser should have durable updates, got %v", info.Losers)
+	}
+	if val(st, 1) != 7 || val(st, 2) != 0 || val(st, 3) != 0 {
+		t.Fatalf("state %d/%d/%d, want only transaction 1's update", val(st, 1), val(st, 2), val(st, 3))
+	}
+}
+
+// TestDuplicateCommitRecordsAfterTornGroupCommit models the retry after a
+// torn group-commit page: the same transaction's commit appears twice in
+// the merged log (one copy from the partially surviving page, one
+// re-logged). Recovery must count it once and produce the identical state.
+func TestDuplicateCommitRecordsAfterTornGroupCommit(t *testing.T) {
+	base := []wal.Record{
+		rec(1, 1, wal.Begin, 0, 0, 0),
+		rec(2, 1, wal.Update, 1, 0, 7),
+		rec(3, 1, wal.Commit, 0, 0, 0),
+	}
+	dup := append(append([]wal.Record{}, base...), rec(6, 1, wal.Commit, 0, 0, 0))
+
+	stBase, infoBase, err := Recover(input(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stDup, infoDup, err := Recover(input(dup))
+	if err != nil {
+		t.Fatalf("duplicate commit broke recovery: %v", err)
+	}
+	if len(infoDup.Committed) != len(infoBase.Committed) {
+		t.Fatalf("duplicate changed the committed set: %v vs %v", infoDup.Committed, infoBase.Committed)
+	}
+	if !stDup.Equal(stBase) {
+		t.Fatal("duplicate commit changed the recovered state")
+	}
+}
+
+// TestMergeCollapsesSameLSNAcrossFragments covers the other duplicate
+// source: a record durable both on disk and still in stable memory shows
+// up in two fragments with the same LSN, and the §5.2 sort-merge must
+// keep exactly one copy.
+func TestMergeCollapsesSameLSNAcrossFragments(t *testing.T) {
+	fragA := []wal.Record{
+		rec(1, 1, wal.Begin, 0, 0, 0),
+		rec(2, 1, wal.Update, 1, 0, 7),
+		rec(3, 1, wal.Commit, 0, 0, 0),
+	}
+	fragB := fragA[1:] // stable-memory survivors of the same records
+	merged := wal.MergeFragments([][]wal.Record{fragA, fragB})
+	if len(merged) != 3 {
+		t.Fatalf("merge kept %d records, want 3", len(merged))
+	}
+	st, info, err := Recover(input(merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Committed[1] || info.Redone != 1 {
+		t.Fatalf("merged log misrecovered: %+v", info)
+	}
+	if val(st, 1) != 7 {
+		t.Fatalf("merged log recovered %d, want 7", val(st, 1))
+	}
+}

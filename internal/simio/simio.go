@@ -8,6 +8,7 @@
 package simio
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -62,34 +63,76 @@ type diskStore struct {
 	pageSize int
 	spaces   map[string]*spaceData
 
-	// Fault injection: when failAfter reaches zero, the next charged IO
-	// returns an error (tests drive operator error paths with this). The
-	// armed flag keeps the common unarmed path free of the counter's
-	// cache line.
-	failAfter atomic.Int64
-	failArmed atomic.Bool
+	// injector, when non-nil, is consulted on every charged IO. The
+	// atomic pointer keeps the common unarmed path free of locks.
+	injector atomic.Pointer[injectorRef]
+}
+
+// injectorRef boxes an Injector so the interface value can live behind an
+// atomic pointer.
+type injectorRef struct{ inj Injector }
+
+// Outcome is an injector's verdict for one charged IO operation.
+type Outcome struct {
+	// Err, when non-nil, fails the access; the space wraps it with
+	// context so errors.Is still reaches the injector's sentinel.
+	Err error
+	// Stall charges that many extra IO operations of the same kind
+	// before the access proceeds — a latency inflation, not a failure.
+	Stall int64
+}
+
+// Injector decides the fate of every charged IO operation on a disk.
+// Uncharged accesses are exempt. Implementations must be safe for
+// concurrent use: parallel partition workers issue IO from many
+// goroutines. The canonical implementation with seeded transient/
+// permanent/stall schedules lives in internal/fault; this package keeps
+// only the consultation hook to avoid an import cycle.
+type Injector interface {
+	ChargedIO(space string, a Access) Outcome
+}
+
+// SetInjector installs inj as the disk's fault injector, consulted on
+// every charged IO of every space. Pass nil to disarm. The injector is
+// device state, shared by all views of the disk.
+func (d *Disk) SetInjector(inj Injector) {
+	if inj == nil {
+		d.store.injector.Store(nil)
+		return
+	}
+	d.store.injector.Store(&injectorRef{inj: inj})
 }
 
 // FailAfter arms fault injection: the n-th subsequent charged IO operation
 // (1-based) fails with a synthetic device error. Uncharged accesses are
 // exempt. Pass a negative n to disarm. Under parallel execution the
-// failing operation is whichever worker reaches the budget first. The
-// fault arm is device state, shared by all views of the disk.
+// failing operation is whichever worker reaches the budget first.
+//
+// FailAfter is a compatibility shim over SetInjector (one mechanism, not
+// two): it installs a counter-based injector, replacing any injector
+// currently armed.
 func (d *Disk) FailAfter(n int64) {
-	d.store.failAfter.Store(n)
-	d.store.failArmed.Store(n >= 0)
+	if n < 0 {
+		d.SetInjector(nil)
+		return
+	}
+	fa := &failAfterInjector{}
+	fa.remaining.Store(n)
+	d.SetInjector(fa)
 }
 
-// tick consumes one charged IO and reports whether it should fail.
-func (st *diskStore) tick() bool {
-	if !st.failArmed.Load() {
-		return false
+// failAfterInjector fails every charged IO after the first n.
+type failAfterInjector struct{ remaining atomic.Int64 }
+
+func (f *failAfterInjector) ChargedIO(string, Access) Outcome {
+	if f.remaining.Add(-1) < 0 {
+		return Outcome{Err: ErrInjected}
 	}
-	return st.failAfter.Add(-1) < 0
+	return Outcome{}
 }
 
 // ErrInjected marks an injected device failure.
-var ErrInjected = fmt.Errorf("simio: injected device failure")
+var ErrInjected = errors.New("simio: injected device failure")
 
 // NewDisk creates a disk with the given page size charging to clock.
 func NewDisk(clock *cost.Clock, pageSize int) *Disk {
@@ -263,8 +306,18 @@ func (s *Space) Truncate() {
 func (s *Space) charge(a Access) error {
 	switch a {
 	case Seq, Rand:
-		if s.disk.store.tick() {
-			return fmt.Errorf("simio: %s IO on %q: %w", a, s.name, ErrInjected)
+		if ref := s.disk.store.injector.Load(); ref != nil {
+			out := ref.inj.ChargedIO(s.name, a)
+			if out.Stall > 0 {
+				if a == Seq {
+					s.disk.clock.SeqIOs(out.Stall)
+				} else {
+					s.disk.clock.RandIOs(out.Stall)
+				}
+			}
+			if out.Err != nil {
+				return fmt.Errorf("simio: %s IO on %q: %w", a, s.name, out.Err)
+			}
 		}
 		if a == Seq {
 			s.disk.clock.SeqIOs(1)

@@ -110,24 +110,28 @@ func TestStableMemoryCommitAndCompression(t *testing.T) {
 	if r := compressed.TPS() / plain.TPS(); r < 1.25 {
 		t.Errorf("compression lifted TPS only %.2fx (want ~1.5x)", r)
 	}
-	if compressed.Log.BytesToDisk >= plain.Log.BytesToDisk && compressed.Committed >= plain.Committed {
-		t.Errorf("compression did not reduce disk bytes: %d vs %d",
-			compressed.Log.BytesToDisk, plain.Log.BytesToDisk)
+	// The drain device saturates in both runs, so total BytesToDisk is
+	// capped either way; the claim is per-transaction: compression ships
+	// fewer log bytes to disk per committed transaction.
+	perTxn := func(s Stats) float64 { return float64(s.Log.BytesToDisk) / float64(s.Committed) }
+	if r := perTxn(compressed) / perTxn(plain); r > 0.85 {
+		t.Errorf("compression shrank disk bytes per txn only %.2fx (want ≤0.85x)", r)
 	}
 }
 
 func TestTransactionLogBytesMatchPaperArithmetic(t *testing.T) {
 	// The paper's "typical transaction writes 400 bytes of log": ours
-	// writes a 29-byte begin, three updates of 29+2*46 bytes, and a
-	// 29-byte commit = 421 bytes, giving ~9.7 commits per 4 KB page —
-	// hence the measured ~880 tps against the idealized 1000.
+	// writes a 33-byte begin (29-byte header + 4-byte CRC trailer), three
+	// updates of 33+2*46 bytes, and a 33-byte commit = 441 bytes, giving
+	// ~9.3 commits per 4 KB page — hence the measured ~850 tps against
+	// the idealized 1000.
 	s := runFor(t, baseConfig(wal.GroupCommit, 1), 2*time.Second)
 	perTxn := float64(s.Log.BytesLogged) / float64(s.Log.Commits)
-	if perTxn < 415 || perTxn > 430 {
-		t.Fatalf("log bytes per transaction = %.1f, expected ≈421", perTxn)
+	if perTxn < 435 || perTxn > 450 {
+		t.Fatalf("log bytes per transaction = %.1f, expected ≈441", perTxn)
 	}
-	if m := s.Log.MeanGroupSize(); m < 8 || m > 9.8 {
-		t.Fatalf("commits per page = %.2f, expected ≈9.7 bounded by partial fills", m)
+	if m := s.Log.MeanGroupSize(); m < 7.5 || m > 9.4 {
+		t.Fatalf("commits per page = %.2f, expected ≈9.3 bounded by partial fills", m)
 	}
 }
 

@@ -4,6 +4,40 @@ import (
 	"time"
 )
 
+// DefaultWriteRetries bounds the in-device retries for injected transient
+// write faults when Device.MaxRetries is zero.
+const DefaultWriteRetries = 4
+
+// WriteFault is an injected verdict for one device page write. The zero
+// value is a clean write.
+type WriteFault struct {
+	// Transient fails the write's service this many times before it
+	// succeeds; the device absorbs up to MaxRetries of them with
+	// exponential virtual-time backoff. Beyond the bound the device is
+	// treated as failing hard (the page is lost and the device dies).
+	Transient int
+	// Permanent kills the device: this write and every later one never
+	// complete.
+	Permanent bool
+	// Stall adds that many extra service times to the write — latency
+	// inflation, not failure.
+	Stall int
+	// Torn cuts the stored image to a prefix: the device never
+	// acknowledges the write, but a crash later exposes the partial page
+	// (when ExposeTorn is set). The log is broken at this page.
+	Torn bool
+	// TornBytes is the surviving prefix length when Torn; 0 means half
+	// the image.
+	TornBytes int
+}
+
+// WriteInjector decides the fate of device page writes; the canonical
+// implementation with seeded schedules lives in internal/fault (the
+// interface is declared here to avoid an import cycle).
+type WriteInjector interface {
+	PageWrite(device string) WriteFault
+}
+
 // Device models one log disk: page writes are serviced serially, each
 // taking WriteTime (the paper's 10 ms for a 4096-byte page without a
 // seek). Completed page images are retained in completion order so a
@@ -12,13 +46,31 @@ type Device struct {
 	Name      string
 	WriteTime time.Duration
 
+	// Injector, when non-nil, is consulted once per page write.
+	Injector WriteInjector
+	// MaxRetries bounds in-device retries of transient write faults;
+	// 0 means DefaultWriteRetries.
+	MaxRetries int
+	// ExposeTorn makes DurablePages surface the surviving prefix of a
+	// page whose write was in flight at the crash instant, and of
+	// injected torn writes, instead of hiding those pages entirely —
+	// modeling sector-granular torn writes that recovery must detect by
+	// checksum. Off by default (the page vanishes, the pre-fault-plane
+	// behavior).
+	ExposeTorn bool
+
 	busyUntil time.Duration
 	pages     []devicePage
+	failed    bool
+	retried   int64
 }
 
 type devicePage struct {
-	img  []byte
-	done time.Duration
+	img   []byte
+	start time.Duration
+	done  time.Duration
+	torn  int  // >0: only this prefix of img reached the medium
+	lost  bool // the write never completed (torn, or device death)
 }
 
 // NewDevice creates a device with the given service time per page write.
@@ -28,17 +80,70 @@ func NewDevice(name string, writeTime time.Duration) *Device {
 
 // Write queues a page image. The write starts no earlier than `earliest`
 // (used to honor commit-group topological ordering) and no earlier than the
-// completion of the device's previous write; it returns the completion
-// time.
-func (d *Device) Write(earliest time.Duration, img []byte) time.Duration {
+// completion of the device's previous write. It returns the completion time
+// and whether the write completes at all: ok is false when the device has
+// permanently failed or the write was torn — the page never becomes
+// durable and the caller must not count on its completion.
+func (d *Device) Write(earliest time.Duration, img []byte) (time.Duration, bool) {
 	start := earliest
 	if d.busyUntil > start {
 		start = d.busyUntil
 	}
-	done := start + d.WriteTime
+	var wf WriteFault
+	if d.Injector != nil {
+		wf = d.Injector.PageWrite(d.Name)
+	}
+	if wf.Permanent {
+		d.failed = true
+	}
+	if d.failed {
+		d.pages = append(d.pages, devicePage{img: img, start: start, lost: true})
+		return 0, false
+	}
+	retries := d.MaxRetries
+	if retries == 0 {
+		retries = DefaultWriteRetries
+	}
+	service := d.WriteTime * time.Duration(1+wf.Stall)
+	done := start + service
+	if wf.Transient > 0 {
+		n := wf.Transient
+		if n > retries {
+			n = retries
+		}
+		// Each failed attempt costs a service time plus an exponential
+		// virtual-time backoff before the re-issue.
+		for i := 0; i < n; i++ {
+			done += d.WriteTime / 2 << uint(i)
+			done += service
+		}
+		d.retried += int64(n)
+		if wf.Transient > retries {
+			// Retry budget exhausted: the device is failing hard.
+			d.failed = true
+			d.pages = append(d.pages, devicePage{img: img, start: start, lost: true})
+			return 0, false
+		}
+	}
+	if wf.Torn {
+		tb := wf.TornBytes
+		if tb <= 0 || tb >= len(img) {
+			tb = len(img) / 2
+		}
+		if tb < 1 {
+			tb = 1
+		}
+		// The medium holds only a prefix and the write is never
+		// acknowledged; the log is broken at this page, so the device is
+		// dead from here on.
+		d.busyUntil = done
+		d.failed = true
+		d.pages = append(d.pages, devicePage{img: img, start: start, done: done, torn: tb, lost: true})
+		return 0, false
+	}
 	d.busyUntil = done
-	d.pages = append(d.pages, devicePage{img: img, done: done})
-	return done
+	d.pages = append(d.pages, devicePage{img: img, start: start, done: done})
+	return done, true
 }
 
 // PagesWritten returns the number of page writes issued.
@@ -47,14 +152,35 @@ func (d *Device) PagesWritten() int { return len(d.pages) }
 // BusyUntil returns when the device's queue drains.
 func (d *Device) BusyUntil() time.Duration { return d.busyUntil }
 
+// Failed reports whether the device has permanently failed (injected
+// permanent fault, exhausted transient retries, or a torn write).
+func (d *Device) Failed() bool { return d.failed }
+
+// WriteRetries returns the transient write faults absorbed by in-device
+// retry.
+func (d *Device) WriteRetries() int64 { return d.retried }
+
 // DurablePages returns the page images whose writes completed by time t —
 // the fragment this device contributes to recovery after a crash at t.
-// A page still being written at t is torn and therefore excluded.
+// A page still being written at t is torn: by default it is excluded
+// entirely; with ExposeTorn the prefix proportional to the write's
+// progress survives (as does the prefix of an injected torn write), and
+// the per-record checksums let recovery cut the fragment there.
 func (d *Device) DurablePages(t time.Duration) [][]byte {
 	var out [][]byte
 	for _, p := range d.pages {
-		if p.done <= t {
+		switch {
+		case p.lost:
+			if d.ExposeTorn && p.torn > 0 && p.start < t {
+				out = append(out, p.img[:p.torn])
+			}
+		case p.done <= t:
 			out = append(out, p.img)
+		case d.ExposeTorn && p.start < t:
+			frac := float64(t-p.start) / float64(p.done-p.start)
+			if n := int(frac * float64(len(p.img))); n > 0 {
+				out = append(out, p.img[:n])
+			}
 		}
 	}
 	return out

@@ -81,6 +81,7 @@ type Stats struct {
 	Groups       int64 // commit groups flushed with at least one commit record
 	GroupSizeSum int64 // total commit records across groups (for mean group size)
 	Truncated    int64 // records reclaimed by log truncation
+	LostPages    int64 // pages whose device write never completed (injected faults)
 }
 
 // MeanGroupSize returns the average commits per flushed group.
@@ -99,6 +100,7 @@ type pendingPage struct {
 	deps    []*pendingPage
 	done    time.Duration
 	durable bool
+	lost    bool // the write never completed: its commits are never delivered
 }
 
 // fragment is one log partition: its device plus the open buffer page.
@@ -361,12 +363,27 @@ func (l *Log) seal(f *fragment) {
 	f.curDeps = make(map[*pendingPage]struct{})
 
 	earliest := l.sim.Now()
+	depLost := false
 	for _, g := range p.deps {
+		if g.lost {
+			depLost = true
+		}
 		if !g.durable && g.done > earliest {
 			earliest = g.done
 		}
 	}
-	p.done = f.dev.Write(earliest, img)
+	if depLost {
+		// A group this page is ordered after was lost to a device fault:
+		// issuing this write would let its commits become durable before
+		// their dependencies, violating the §5.2 topological ordering. The
+		// page is lost too, and its commits are never delivered.
+		p.lost = true
+		l.pages = append(l.pages, p)
+		l.stats.LostPages++
+		return
+	}
+	var ok bool
+	p.done, ok = f.dev.Write(earliest, img)
 	l.pages = append(l.pages, p)
 	l.stats.PagesWritten++
 	for _, r := range p.records {
@@ -375,6 +392,14 @@ func (l *Log) seal(f *fragment) {
 	if len(p.commits) > 0 {
 		l.stats.Groups++
 		l.stats.GroupSizeSum += int64(len(p.commits))
+	}
+	if !ok {
+		// The device lost the write (permanent failure or torn page): the
+		// page never becomes durable, its commits are never acknowledged,
+		// and recovery sees at most a checksum-guarded prefix of it.
+		p.lost = true
+		l.stats.LostPages++
+		return
 	}
 	l.sim.At(p.done, func() {
 		p.durable = true
@@ -479,12 +504,21 @@ func (l *Log) startDrain() {
 
 	dev := l.cfg.Devices[l.nextDrainDev]
 	l.nextDrainDev = (l.nextDrainDev + 1) % len(l.cfg.Devices)
-	done := dev.Write(l.sim.Now(), img)
+	done, ok := dev.Write(l.sim.Now(), img)
 	p := &pendingPage{seq: l.pageSeq, records: page, done: done}
 	l.pageSeq++
 	l.pages = append(l.pages, p)
 	l.stats.PagesWritten++
 	l.stats.BytesToDisk += int64(bytes)
+	if !ok {
+		// The drain write was lost. The records stay in stable memory —
+		// which is durable by assumption (§5.1) — so nothing is lost, but
+		// this drain makes no progress and frees no space.
+		p.lost = true
+		l.stats.LostPages++
+		l.draining = false
+		return
+	}
 	l.sim.At(done, func() {
 		p.durable = true
 		l.draining = false
@@ -539,16 +573,24 @@ func (l *Log) StableRecords() []Record {
 // (§5.2's sort-merge of log fragments), followed by stable memory's
 // surviving records when the policy is StableMemory. Duplicates (a record
 // both drained to disk and still in stable memory) collapse in the merge.
+//
+// Page images are decoded tolerantly: device writes are FIFO, so a torn or
+// corrupt page is necessarily the effective tail of its fragment, and the
+// per-record checksums let the decode cut the fragment at the last intact
+// record instead of erroring. The error return is retained for interface
+// stability but is always nil.
 func (l *Log) DurableRecords(t time.Duration) ([]Record, error) {
 	var fragments [][]Record
 	for _, d := range l.cfg.Devices {
 		var frag []Record
 		for _, img := range d.DurablePages(t) {
-			recs, err := DecodePage(img)
-			if err != nil {
-				return nil, err
-			}
+			recs, intact := DecodePageTail(img)
 			frag = append(frag, recs...)
+			if !intact {
+				// Torn tail: everything after the damage is unreadable,
+				// and nothing later on this device can be durable (FIFO).
+				break
+			}
 		}
 		fragments = append(fragments, frag)
 	}

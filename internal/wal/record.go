@@ -8,7 +8,9 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // TxnID identifies a transaction.
@@ -61,9 +63,18 @@ type Record struct {
 
 const recordHeader = 8 + 8 + 1 + 8 + 2 + 2 // LSN, Txn, Type, Rec, len(Old), len(New)
 
+// recordChecksum is the per-record CRC32 trailer. It makes a torn or
+// corrupted log tail detectable: recovery decodes records until the first
+// checksum failure and treats that point as end-of-log.
+const recordChecksum = 4
+
+// ErrChecksum marks a log record whose stored checksum does not match its
+// content — the signature of a torn or corrupted write.
+var ErrChecksum = errors.New("wal: record checksum mismatch")
+
 // EncodedSize returns the record's on-log size in bytes.
 func (r Record) EncodedSize() int {
-	return recordHeader + len(r.Old) + len(r.New)
+	return recordHeader + len(r.Old) + len(r.New) + recordChecksum
 }
 
 // WithoutOld returns a copy with the pre-image removed: §5.4's log
@@ -86,9 +97,13 @@ func (r Record) AppendTo(buf []byte) ([]byte, error) {
 	binary.BigEndian.PutUint64(h[17:], r.Rec)
 	binary.BigEndian.PutUint16(h[25:], uint16(len(r.Old)))
 	binary.BigEndian.PutUint16(h[27:], uint16(len(r.New)))
+	start := len(buf)
 	buf = append(buf, h[:]...)
 	buf = append(buf, r.Old...)
 	buf = append(buf, r.New...)
+	var c [recordChecksum]byte
+	binary.BigEndian.PutUint32(c[:], crc32.ChecksumIEEE(buf[start:]))
+	buf = append(buf, c[:]...)
 	return buf, nil
 }
 
@@ -105,9 +120,13 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	r.Rec = binary.BigEndian.Uint64(buf[17:])
 	oldLen := int(binary.BigEndian.Uint16(buf[25:]))
 	newLen := int(binary.BigEndian.Uint16(buf[27:]))
-	n := recordHeader + oldLen + newLen
+	body := recordHeader + oldLen + newLen
+	n := body + recordChecksum
 	if len(buf) < n {
 		return Record{}, 0, fmt.Errorf("wal: truncated record body (want %d, have %d)", n, len(buf))
+	}
+	if got, want := crc32.ChecksumIEEE(buf[:body]), binary.BigEndian.Uint32(buf[body:]); got != want {
+		return Record{}, 0, fmt.Errorf("wal: LSN %d: %w", r.LSN, ErrChecksum)
 	}
 	switch r.Type {
 	case Begin, Update, Commit, End, Checkpoint:
@@ -118,7 +137,7 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 		r.Old = append([]byte(nil), buf[recordHeader:recordHeader+oldLen]...)
 	}
 	if newLen > 0 {
-		r.New = append([]byte(nil), buf[recordHeader+oldLen:n]...)
+		r.New = append([]byte(nil), buf[recordHeader+oldLen:body]...)
 	}
 	return r, n, nil
 }
@@ -176,4 +195,33 @@ func DecodePage(data []byte) ([]Record, error) {
 		return nil, fmt.Errorf("wal: %d trailing bytes after %d records", len(buf), count)
 	}
 	return records, nil
+}
+
+// DecodePageTail decodes the valid record prefix of a possibly torn or
+// corrupt page image. A crash (or an injected torn write) can leave only a
+// byte prefix of a log page on the medium; the per-record checksums make
+// the damage detectable, so decoding stops at the first structural or
+// checksum failure and returns whatever decoded cleanly before it. intact
+// reports whether the page's full declared payload decoded — when false,
+// the page is the end of its log fragment.
+func DecodePageTail(data []byte) (records []Record, intact bool) {
+	if len(data) < pageHeader {
+		return nil, false
+	}
+	count := int(binary.BigEndian.Uint16(data[0:]))
+	payload := int(binary.BigEndian.Uint32(data[2:]))
+	buf := data[pageHeader:]
+	whole := payload <= len(buf)
+	if whole {
+		buf = buf[:payload]
+	}
+	for i := 0; i < count; i++ {
+		r, n, err := DecodeRecord(buf)
+		if err != nil {
+			return records, false
+		}
+		records = append(records, r)
+		buf = buf[n:]
+	}
+	return records, whole && len(buf) == 0
 }

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -81,6 +82,54 @@ func TestPageRoundTripAndCorruption(t *testing.T) {
 	}
 }
 
+func TestRecordChecksumDetectsCorruption(t *testing.T) {
+	r := Record{LSN: 9, Txn: 2, Type: Update, Rec: 1, Old: []byte("aaa"), New: []byte("bbb")}
+	buf, _ := r.AppendTo(nil)
+	for _, i := range []int{0, recordHeader, len(buf) - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x40
+		if _, _, err := DecodeRecord(bad); err == nil {
+			t.Errorf("flipped byte %d accepted", i)
+		}
+	}
+	// Checksum failures are identifiable for tolerant tail decoding.
+	bad := append([]byte(nil), buf...)
+	bad[recordHeader] ^= 0x40
+	if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corruption error %v is not ErrChecksum", err)
+	}
+}
+
+func TestDecodePageTail(t *testing.T) {
+	records := []Record{
+		{LSN: 1, Txn: 5, Type: Begin},
+		{LSN: 2, Txn: 5, Type: Update, Rec: 9, Old: []byte("old"), New: []byte("new")},
+		{LSN: 3, Txn: 5, Type: Commit},
+	}
+	img, err := EncodePage(records, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, intact := DecodePageTail(img); !intact || len(got) != 3 {
+		t.Fatalf("intact page: %d records, intact=%v", len(got), intact)
+	}
+	// Torn to a byte prefix inside record 3: records 1-2 survive.
+	cut := pageHeader + records[0].EncodedSize() + records[1].EncodedSize() + 5
+	if got, intact := DecodePageTail(img[:cut]); intact || len(got) != 2 || got[1].LSN != 2 {
+		t.Fatalf("torn page: %d records, intact=%v", len(got), intact)
+	}
+	// A bit flip mid-page cuts the tail at the corrupt record.
+	bad := append([]byte(nil), img...)
+	bad[pageHeader+records[0].EncodedSize()+3] ^= 0x01
+	if got, intact := DecodePageTail(bad); intact || len(got) != 1 {
+		t.Fatalf("corrupt page: %d records, intact=%v", len(got), intact)
+	}
+	// Degenerate inputs.
+	if got, intact := DecodePageTail(img[:3]); intact || got != nil {
+		t.Fatalf("sub-header input: %v %v", got, intact)
+	}
+}
+
 func TestWithoutOldHalvesUpdateSize(t *testing.T) {
 	r := Record{Type: Update, Old: make([]byte, 100), New: make([]byte, 100)}
 	if got := r.WithoutOld().EncodedSize(); got != r.EncodedSize()-100 {
@@ -90,9 +139,9 @@ func TestWithoutOldHalvesUpdateSize(t *testing.T) {
 
 func TestDeviceFIFOAndDurablePrefix(t *testing.T) {
 	d := NewDevice("log", 10*time.Millisecond)
-	t1 := d.Write(0, []byte{1})
-	t2 := d.Write(0, []byte{2})
-	t3 := d.Write(25*time.Millisecond, []byte{3})
+	t1, _ := d.Write(0, []byte{1})
+	t2, _ := d.Write(0, []byte{2})
+	t3, _ := d.Write(25*time.Millisecond, []byte{3})
 	if t1 != 10*time.Millisecond || t2 != 20*time.Millisecond || t3 != 35*time.Millisecond {
 		t.Fatalf("completions %v %v %v", t1, t2, t3)
 	}

@@ -30,6 +30,7 @@ import (
 
 	"mmdb/internal/catalog"
 	"mmdb/internal/cost"
+	"mmdb/internal/fault"
 	"mmdb/internal/heap"
 	"mmdb/internal/lock"
 	"mmdb/internal/session"
@@ -189,6 +190,32 @@ var ErrOverloaded = session.ErrOverloaded
 // shedding.
 type OverloadError = session.OverloadError
 
+// MinGrantPages is the smallest memory grant the broker hands out and
+// the floor ShedMemory can never revoke past: any §3 operator needs two
+// pages (one input, one output) to finish.
+const MinGrantPages = session.MinGrant
+
+// FaultInjector is a deterministic, seeded schedule of device faults —
+// transient errors, permanent failures, latency stalls — consulted on
+// every charged IO of the database's simulated disk. Build one with
+// NewFaultInjector and its chainable rule methods, then install it with
+// Database.ArmFaults.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector returns an empty fault schedule; equal seeds replay
+// identical fault sequences. See the fault package for the rule builders.
+var NewFaultInjector = fault.NewInjector
+
+// Fault taxonomy sentinels: every injected error matches ErrInjectedFault
+// via errors.Is, and exactly one of the two refinements. Transient faults
+// are absorbed by the engine's bounded retry (and by WithRetry sessions);
+// permanent faults always surface.
+var (
+	ErrInjectedFault  = simio.ErrInjected
+	ErrFaultTransient = fault.ErrTransient
+	ErrFaultPermanent = fault.ErrPermanent
+)
+
 func (o Options) withDefaults() Options {
 	if o.PageSize == 0 {
 		o.PageSize = 4096
@@ -298,6 +325,19 @@ func (db *Database) VirtualTime() time.Duration { return db.clock.Now() }
 
 // ResetClock zeroes the virtual clock and counters (between experiments).
 func (db *Database) ResetClock() { db.clock.Reset() }
+
+// ArmFaults installs a fault-injection schedule on the database's
+// simulated disk: every subsequent charged IO (base relations, spill
+// files, sort runs — through any session view) consults it. ArmFaults(nil)
+// disarms. Chaos testing only; the injector is deterministic, so a given
+// seed replays the same fault sequence against the same workload.
+func (db *Database) ArmFaults(inj *FaultInjector) {
+	if inj == nil {
+		db.disk.SetInjector(nil)
+		return
+	}
+	db.disk.SetInjector(inj)
+}
 
 // CreateRelation registers an empty relation.
 func (db *Database) CreateRelation(name string, schema *Schema) (*Relation, error) {

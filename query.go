@@ -32,6 +32,10 @@ type JoinResult struct {
 	Elapsed    time.Duration // virtual time consumed
 	Passes     int
 	Partitions int
+	// Degraded reports that the session's memory grant shrank mid-join
+	// and hybrid hash completed via the GRACE spill fallback — the
+	// result is still exact, the pressure cost extra IO passes.
+	Degraded bool
 }
 
 // withSession runs fn inside a one-shot admitted session: the single

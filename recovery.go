@@ -61,6 +61,15 @@ type RecoveryConfig struct {
 	Versioning bool
 	// Seed fixes the workload randomness.
 	Seed int64
+	// TornTails makes a torn log-page write expose its surviving byte
+	// prefix to recovery (the realistic medium: a crash mid-write leaves a
+	// partial page). Off, a torn page vanishes entirely. Either way the
+	// per-record checksums make recovery stop cleanly at the tear.
+	TornTails bool
+	// Faults, when set, is consulted on every log (and checkpoint) device
+	// page write: the chaos knob that injects transient write errors,
+	// permanent device failures, stalls and torn pages into the §5 engine.
+	Faults *FaultInjector
 }
 
 func (c RecoveryConfig) withDefaults() RecoveryConfig {
@@ -106,9 +115,17 @@ type RecoverySim struct {
 func NewRecoverySim(cfg RecoveryConfig) (*RecoverySim, error) {
 	cfg = cfg.withDefaults()
 	sim := &event.Sim{}
+	newDevice := func(name string) *wal.Device {
+		d := wal.NewDevice(name, cfg.LogPageWrite)
+		d.ExposeTorn = cfg.TornTails
+		if cfg.Faults != nil {
+			d.Injector = cfg.Faults
+		}
+		return d
+	}
 	var devices []*wal.Device
 	for i := 0; i < cfg.LogDevices; i++ {
-		devices = append(devices, wal.NewDevice("log", cfg.LogPageWrite))
+		devices = append(devices, newDevice(fmt.Sprintf("log%d", i)))
 	}
 	tc := txn.Config{
 		Accounts:          cfg.Accounts,
@@ -129,7 +146,7 @@ func NewRecoverySim(cfg RecoveryConfig) (*RecoverySim, error) {
 	}
 	if cfg.Checkpoint {
 		tc.Checkpoint = true
-		tc.DataDevice = wal.NewDevice("data", cfg.LogPageWrite)
+		tc.DataDevice = newDevice("data")
 	}
 	e, err := txn.New(sim, tc)
 	if err != nil {
@@ -154,22 +171,43 @@ func (s *RecoverySim) Run(d time.Duration) RecoveryStats {
 	}
 }
 
+// CrashCaptureError reports that RunAndCrash could not capture the
+// crash-durable state at the requested virtual instant. Cause carries the
+// engine's capture error (nil when the simulation simply ended before the
+// instant arrived) and unwraps for errors.Is/As inspection.
+type CrashCaptureError struct {
+	At    time.Duration // the virtual instant the capture was scheduled at
+	Cause error
+}
+
+func (e *CrashCaptureError) Error() string {
+	if e.Cause == nil {
+		return fmt.Sprintf("mmdb: crash capture at %v never ran", e.At)
+	}
+	return fmt.Sprintf("mmdb: crash capture at %v failed: %v", e.At, e.Cause)
+}
+
+// Unwrap exposes the capture failure's cause.
+func (e *CrashCaptureError) Unwrap() error { return e.Cause }
+
 // RunAndCrash runs the workload but captures the crash-durable state at
 // crashAt (before in-flight work drains), then recovers from it. It
 // returns the run statistics, the recovery report, and the number of
-// transactions recovery found committed.
+// transactions recovery found committed. A capture that never runs or
+// fails surfaces as a *CrashCaptureError.
 func (s *RecoverySim) RunAndCrash(runFor, crashAt time.Duration) (RecoveryStats, RecoveryInfo, int, error) {
 	if crashAt > runFor {
 		crashAt = runFor
 	}
+	at := s.sim.Now() + crashAt
 	var in recoveryInput
-	s.sim.At(s.sim.Now()+crashAt, func() {
+	s.sim.At(at, func() {
 		in.input, in.err = s.engine.CrashInput()
 		in.captured = true
 	})
 	st := s.Run(runFor)
 	if !in.captured || in.err != nil {
-		return st, RecoveryInfo{}, 0, fmt.Errorf("mmdb: crash capture failed: %v", in.err)
+		return st, RecoveryInfo{}, 0, &CrashCaptureError{At: at, Cause: in.err}
 	}
 	_, ri, err := recovery.Recover(in.input)
 	if err != nil {

@@ -2,6 +2,7 @@ package mmdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,9 +12,11 @@ import (
 	"mmdb/internal/cost"
 	"mmdb/internal/expr"
 	"mmdb/internal/extsort"
+	"mmdb/internal/fault"
 	"mmdb/internal/heap"
 	"mmdb/internal/join"
 	"mmdb/internal/lock"
+	"mmdb/internal/session"
 	"mmdb/internal/simio"
 	"mmdb/internal/wal"
 )
@@ -38,7 +41,8 @@ type Session struct {
 	clock   *cost.Clock
 	view    *simio.Disk
 	class   QueryClass
-	granted int
+	grant   *session.Grant
+	retries int
 	queued  time.Duration
 	cancel  context.CancelFunc
 	ctx     context.Context
@@ -76,7 +80,7 @@ func (db *Database) NewSession(ctx context.Context, opts ...SessionOption) (*Ses
 		}
 		return nil, err
 	}
-	granted, err := db.broker.Reserve(ctx, cfg.class, cfg.minPages)
+	grant, err := db.broker.ReserveGrant(ctx, cfg.class, cfg.minPages)
 	if err != nil {
 		db.sched.Done(cfg.class)
 		if cancel != nil {
@@ -91,7 +95,8 @@ func (db *Database) NewSession(ctx context.Context, opts ...SessionOption) (*Ses
 		clock:   clock,
 		view:    db.disk.View(clock),
 		class:   cfg.class,
-		granted: granted,
+		grant:   grant,
+		retries: cfg.retries,
 		queued:  queued,
 		cancel:  cancel,
 		ctx:     ctx,
@@ -110,7 +115,7 @@ func (s *Session) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.db.locks.Release(s.txn)
-	s.db.broker.Release(s.class, s.granted)
+	s.grant.Release()
 	s.db.sched.Done(s.class)
 	s.db.clock.Charge(s.clock.Counters())
 	if s.cancel != nil {
@@ -121,8 +126,18 @@ func (s *Session) Close() {
 // Class returns the session's admission priority class.
 func (s *Session) Class() QueryClass { return s.class }
 
-// GrantedPages returns the session's memory grant (its |M|).
-func (s *Session) GrantedPages() int { return s.granted }
+// GrantedPages returns the session's current memory grant (its live |M|).
+// The value shrinks when the grant is revoked from (ShedMemory).
+func (s *Session) GrantedPages() int { return s.grant.Pages() }
+
+// ShedMemory takes up to pages back from the session's memory grant and
+// returns them to the database's broker immediately, reporting how many
+// were reclaimed. The grant never shrinks below the 2-page floor any §3
+// operator needs to finish. A hybrid hash join in flight observes the
+// shrinkage through its live-|M| hook and degrades to the GRACE spill
+// fallback rather than overcommitting — memory pressure costs extra IO
+// passes, never a wrong answer or an overrun.
+func (s *Session) ShedMemory(pages int) int { return s.grant.Revoke(pages) }
 
 // QueuedFor returns the wall time the session waited for admission.
 func (s *Session) QueuedFor() time.Duration { return s.queued }
@@ -189,8 +204,9 @@ func (s *Session) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol s
 	spec := join.Spec{
 		R: files[0], S: files[1],
 		RCol: lc, SCol: rc,
-		M:           s.granted,
+		M:           s.grant.Pages(),
 		F:           s.db.opts.Params.F,
+		LiveM:       s.grant.Pages,
 		Parallelism: s.db.opts.Parallelism,
 	}
 	swapped := false
@@ -209,7 +225,7 @@ func (s *Session) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol s
 			}
 		}
 	}
-	res, err := join.Run(algorithm, spec, wrapped)
+	res, err := s.runJoin(algorithm, spec, wrapped)
 	if err != nil {
 		return JoinResult{}, err
 	}
@@ -220,7 +236,38 @@ func (s *Session) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol s
 		Elapsed:    res.Elapsed,
 		Passes:     res.Passes,
 		Partitions: res.Partitions,
+		Degraded:   res.GraceFallback,
 	}, nil
+}
+
+// runJoin executes the join, optionally re-running it when it is killed
+// by a transient injected fault (WithRetry). Each attempt buffers its
+// emitted pairs and delivers them only on success, so the caller never
+// sees a partial result set from a failed attempt; an exhausted budget or
+// a permanent fault surfaces the last error unchanged.
+func (s *Session) runJoin(algorithm JoinAlgorithm, spec join.Spec, emit join.Emit) (join.Result, error) {
+	if s.retries <= 0 {
+		return join.Run(algorithm, spec, emit)
+	}
+	for attempt := 0; ; attempt++ {
+		var buf [][2]Tuple
+		inner := emit
+		if emit != nil {
+			inner = func(r, t Tuple) { buf = append(buf, [2]Tuple{r.Clone(), t.Clone()}) }
+		}
+		res, err := join.Run(algorithm, spec, inner)
+		if err == nil {
+			if emit != nil {
+				for _, p := range buf {
+					emit(p[0], p[1])
+				}
+			}
+			return res, nil
+		}
+		if attempt >= s.retries || !errors.Is(err, fault.ErrTransient) {
+			return res, err
+		}
+	}
 }
 
 // Aggregate computes per-group count/sum/min/max/avg within the session's
@@ -240,7 +287,7 @@ func (s *Session) Aggregate(relation, groupCol, valueCol string) ([]GroupRow, er
 		Input:       files[0],
 		GroupCol:    gc,
 		ValueCol:    vc,
-		M:           s.granted,
+		M:           s.grant.Pages(),
 		F:           s.db.opts.Params.F,
 		Parallelism: s.db.opts.Parallelism,
 	})
@@ -265,7 +312,7 @@ func (s *Session) Distinct(relation, column string) ([]Value, error) {
 	if col < 0 {
 		return nil, fmt.Errorf("mmdb: %s has no column %q", relation, column)
 	}
-	return agg.Distinct(files[0], col, s.granted, s.db.opts.Params.F, s.db.opts.Parallelism)
+	return agg.Distinct(files[0], col, s.grant.Pages(), s.db.opts.Params.F, s.db.opts.Parallelism)
 }
 
 // Select scans the predicate's relation, streaming rows that satisfy p
@@ -306,11 +353,11 @@ func (s *Session) OrderBy(relation, column string, fn func(Tuple) bool) error {
 	if col < 0 {
 		return fmt.Errorf("mmdb: %s has no column %q", relation, column)
 	}
-	capacity := int(float64(s.granted) * float64(files[0].TuplesPerPage()) / s.db.opts.Params.F)
+	capacity := int(float64(s.grant.Pages()) * float64(files[0].TuplesPerPage()) / s.db.opts.Params.F)
 	if capacity < 2 {
 		capacity = 2
 	}
-	fanout := s.granted
+	fanout := s.grant.Pages()
 	stream, _, err := extsort.Sort(files[0], col, capacity, fanout,
 		fmt.Sprintf("orderby.%s.%d", relation, orderBySeq.Add(1)), simio.Uncharged)
 	if err != nil {
@@ -339,7 +386,7 @@ func (s *Session) Plan(q Query, mode PlanMode) (*QueryPlan, error) {
 	if _, _, err := s.lockAndView(names...); err != nil {
 		return nil, err
 	}
-	pq, err := s.db.buildPlannerQuery(q, s.granted, s.view)
+	pq, err := s.db.buildPlannerQuery(q, s.grant.Pages(), s.view)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ type SessionOption func(*sessionConfig)
 type sessionConfig struct {
 	class    QueryClass
 	minPages int
+	retries  int
 }
 
 func defaultSessionConfig() sessionConfig {
@@ -38,6 +39,22 @@ func WithMinPages(n int) SessionOption {
 	return func(cfg *sessionConfig) {
 		if n > 0 {
 			cfg.minPages = n
+		}
+	}
+}
+
+// WithRetry opts the session's queries into bounded retry when they are
+// killed by a *transient* injected device fault (ErrFaultTransient): the
+// query is re-run, up to n extra attempts, and each attempt's output is
+// buffered and delivered only on success — the caller never observes a
+// partial result set from a failed attempt. Permanent faults and every
+// other error still surface immediately. Each attempt charges the
+// session clock as usual, so retried queries honestly cost more virtual
+// time. n <= 0 keeps retries off, the default.
+func WithRetry(n int) SessionOption {
+	return func(cfg *sessionConfig) {
+		if n > 0 {
+			cfg.retries = n
 		}
 	}
 }
