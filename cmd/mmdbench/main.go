@@ -15,6 +15,7 @@
 //	mmdbench -exp checkpoint          # §5.3/§5.5 checkpoint sweep
 //	mmdbench -exp concurrency -clients 8   # multi-client contention ladder
 //	mmdbench -exp priority            # priority-class admission ladder
+//	mmdbench -exp sort -parallel 8    # parallel external sort ladder
 //	mmdbench -exp chaos               # fault-plane chaos ladder
 package main
 
@@ -28,11 +29,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|chaos")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|sort|chaos")
 	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
 	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
 	par := flag.Int("parallel", 1, "worker goroutines for executed join operators (1 = serial, -1 = GOMAXPROCS); virtual times are identical, wall time shrinks")
 	clients := flag.Int("clients", 8, "concurrency: top of the client ladder (runs 1,2,4,...,N)")
+	tuples := flag.Int("tuples", 0, "sort: relation size override (0 = the default 80000); use a small value for smoke runs")
 	slots := flag.Int("slots", 8, "concurrency: MaxConcurrentQueries, held fixed across the ladder")
 	queue := flag.Int("queue", 64, "concurrency: admission queue depth")
 	flag.Parse()
@@ -145,6 +147,35 @@ func main() {
 		}
 		res.Print(os.Stdout)
 		return res.WriteJSON("BENCH_priority.json")
+	})
+	run("sort", func() error {
+		cfg := experiments.DefaultSortConfig()
+		if *par > 1 {
+			cfg.Widths = nil
+			for w := 1; w < *par; w *= 2 {
+				cfg.Widths = append(cfg.Widths, w)
+			}
+			cfg.Widths = append(cfg.Widths, *par)
+		}
+		if *tuples > 0 {
+			cfg.Tuples = *tuples
+			cfg.RefTuples = *tuples / 20
+			if cfg.RefTuples < 10 {
+				cfg.RefTuples = 10
+			}
+		}
+		res, err := experiments.RunSort(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		if err := res.WriteJSON("BENCH_sort.json"); err != nil {
+			return err
+		}
+		if !res.AllIdentical {
+			return fmt.Errorf("sort ladder: virtual counters differed across parallelism widths (see BENCH_sort.json)")
+		}
+		return nil
 	})
 	run("chaos", func() error {
 		res, err := experiments.RunChaos(experiments.DefaultChaosConfig())

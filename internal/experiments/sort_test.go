@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// testSortConfig keeps the ladder small enough for the -race CI step.
+func testSortConfig() SortConfig {
+	return SortConfig{
+		Widths:      []int{1, 2, 8},
+		Chunks:      4,
+		MemoryPages: []int{8, 256},
+		Tuples:      3000,
+		RefTuples:   150,
+		PageSize:    512,
+		Repeat:      1,
+	}
+}
+
+// TestSortLadderDeterminism runs the ladder twice: every rung must hold
+// the width-identical invariant, and the serialized report (virtual
+// quantities only) must be byte-identical run to run.
+func TestSortLadderDeterminism(t *testing.T) {
+	marshal := func() []byte {
+		res, err := RunSort(testSortConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllIdentical {
+			data, _ := json.MarshalIndent(res, "", "  ")
+			t.Fatalf("virtual counters differed across widths:\n%s", data)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := marshal(), marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same config, different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestSortLadderShape sanity-checks the two regimes: the small rung must
+// sort externally (runs, merge IO), the large one fully in memory.
+func TestSortLadderShape(t *testing.T) {
+	res, err := RunSort(testSortConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := res.Rows[0], res.Rows[1]
+	if small.Virtual.Counters.SeqIOs == 0 || small.Virtual.Counters.RandIOs == 0 {
+		t.Fatalf("small-memory rung did no run IO: %+v", small.Virtual)
+	}
+	if small.Virtual.InMemory != 0 {
+		t.Fatalf("small-memory rung claims in-memory sorts: %+v", small.Virtual)
+	}
+	if large.Virtual.Counters.SeqIOs != 0 || large.Virtual.Counters.RandIOs != 0 {
+		t.Fatalf("large-memory rung did run IO: %+v", large.Virtual)
+	}
+	if large.Virtual.Rows != int64(res.Config.Tuples) {
+		t.Fatalf("OrderBy saw %d rows, want %d", large.Virtual.Rows, res.Config.Tuples)
+	}
+}

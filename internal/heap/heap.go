@@ -95,6 +95,12 @@ func (f *File) NumPages() int {
 	return n
 }
 
+// Buffered returns the number of tuples sitting in the unflushed append
+// buffer — zero for any file that has been Flushed and not appended to
+// since. Readers that serve tuple views (the sort's run cursors) use it to
+// tell whether a page aliases the live buffer and must be cloned.
+func (f *File) Buffered() int { return f.cur.Count() }
+
 // TuplesPerPage returns the page capacity in tuples (the paper's ||R||/|R|).
 func (f *File) TuplesPerPage() int { return f.cur.Capacity() }
 
@@ -164,8 +170,18 @@ func (f *File) ReadPage(n int, a simio.Access) (page.TuplePage, error) {
 // access kind, until fn returns false. The tuple views passed to fn are
 // only valid during the call; Clone to retain.
 func (f *File) Scan(a simio.Access, fn func(t tuple.Tuple) bool) error {
-	n := f.NumPages()
-	for i := 0; i < n; i++ {
+	return f.ScanRange(0, f.NumPages(), a, fn)
+}
+
+// ScanRange iterates the tuples of pages [start, end) in file order, until
+// fn returns false. The chunked sort's formation workers each scan their
+// own disjoint page range concurrently; like Scan, the tuple views passed
+// to fn are only valid during the call.
+func (f *File) ScanRange(start, end int, a simio.Access, fn func(t tuple.Tuple) bool) error {
+	if n := f.NumPages(); end > n {
+		end = n
+	}
+	for i := start; i < end; i++ {
 		p, err := f.ReadPage(i, a)
 		if err != nil {
 			return err

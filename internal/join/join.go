@@ -20,6 +20,7 @@ import (
 
 	"mmdb/internal/cost"
 	"mmdb/internal/exec"
+	"mmdb/internal/extsort"
 	"mmdb/internal/heap"
 	"mmdb/internal/tuple"
 )
@@ -77,15 +78,27 @@ type Spec struct {
 	LiveM func() int
 	// Parallelism bounds the worker goroutines the partition phases of
 	// GRACE and hybrid hash may use: the bucket pairs of §3.6/§3.7 are
-	// independent, so they fan out over a worker pool. 0 or 1 means
-	// serial execution on the calling goroutine, exactly the original
-	// engine; a negative value means one worker per CPU (GOMAXPROCS).
-	// The virtual clock's counters are identical at every setting — the
-	// per-partition work does not change, and counter addition commutes —
-	// so Parallelism trades wall-clock time only. Emit callbacks are
-	// serialized (never called concurrently), but their order changes
-	// with the schedule when Parallelism > 1.
+	// independent, so they fan out over a worker pool. Sort-merge uses the
+	// same knob: the two relation sorts overlap, and each sort's formation
+	// chunks and merge-tree nodes run on up to Parallelism workers. 0 or 1
+	// means serial execution on the calling goroutine, exactly the
+	// original engine; a negative value means one worker per CPU
+	// (GOMAXPROCS). The virtual clock's counters are identical at every
+	// setting — the per-partition (and per-chunk) work does not change,
+	// and counter addition commutes — so Parallelism trades wall-clock
+	// time only. Emit callbacks are serialized (never called
+	// concurrently), but their order changes with the schedule when
+	// Parallelism > 1.
 	Parallelism int
+	// SortChunks is sort-merge's decomposition plan: each relation sort
+	// splits run formation into this many page-range chunks (each with a
+	// proportional share of the queue memory) combined by a merge tree.
+	// Like GraceParts it changes the virtual counters — more, shorter
+	// runs; an extra selection-tree level — and is therefore a plan knob,
+	// deliberately separate from Parallelism: a chunked plan charges
+	// identical counters whether 1 or 8 workers execute it. 0 or 1 means
+	// the classic single-queue sort.
+	SortChunks int
 }
 
 // workers returns the effective worker count for the spec.
@@ -149,6 +162,10 @@ type Result struct {
 	// GraceFallback reports that a mid-query memory-grant revocation made
 	// hybrid hash spill its resident partition and finish GRACE-style.
 	GraceFallback bool
+	// RSort and SSort report how sort-merge sorted each relation (runs
+	// formed, intermediate passes, in-memory shortcuts); zero for the
+	// other algorithms.
+	RSort, SSort extsort.Stats
 }
 
 // Time returns the join's virtual execution time under p.

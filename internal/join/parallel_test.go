@@ -65,6 +65,67 @@ func TestParallelJoinMatchesSerialExactly(t *testing.T) {
 	}
 }
 
+// runSortCase is runCase for sort-merge: the chunk plan is pinned while
+// the width varies, mirroring how GraceParts stays fixed above.
+func runSortCase(t *testing.T, nR, nS int, domain int64, m, chunks, parallelism int) (map[string]int, Result) {
+	t.Helper()
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", nR, domain, 33)
+	s := makeRelation(t, disk, "S", nS, domain, 34)
+	return matches(t, SortMerge, Spec{R: r, S: s, M: m, SortChunks: chunks, Parallelism: parallelism})
+}
+
+// TestParallelSortMergeMatchesSerialExactly is the sort-merge counterpart
+// of the hash-join determinism test: with the SortChunks plan pinned, the
+// whole Result — counters, virtual time, run counts, per-relation sort
+// stats — must be bit-identical at widths 1, 2 and 8, and the match
+// multiset unchanged. Chunks=1 additionally pins the classic serial plan
+// under a parallel pool.
+func TestParallelSortMergeMatchesSerialExactly(t *testing.T) {
+	cases := []struct {
+		name   string
+		nR, nS int
+		domain int64
+		m      int
+		chunks int
+	}{
+		{name: "chunked-external", nR: 600, nS: 1800, domain: 300, m: 8, chunks: 4},
+		{name: "chunked-tight-memory", nR: 400, nS: 1200, domain: 100, m: 4, chunks: 8},
+		{name: "chunked-in-memory", nR: 200, nS: 400, domain: 80, m: 400, chunks: 4},
+		{name: "classic-plan-parallel-pool", nR: 500, nS: 1500, domain: 200, m: 8, chunks: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantSet, want := runSortCase(t, tc.nR, tc.nS, tc.domain, tc.m, tc.chunks, 1)
+			for _, width := range []int{2, 8} {
+				gotSet, got := runSortCase(t, tc.nR, tc.nS, tc.domain, tc.m, tc.chunks, width)
+				if !sameMultiset(gotSet, wantSet) {
+					t.Errorf("width %d: match multiset differs from serial", width)
+				}
+				if got != want {
+					t.Errorf("width %d: Result diverges:\n  parallel %+v\n  serial   %+v", width, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSortMergeChunkedOracle checks the chunked sort-merge against the
+// nested-loops oracle.
+func TestSortMergeChunkedOracle(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 300, 80, 35)
+	s := makeRelation(t, disk, "S", 450, 80, 36)
+	want, _ := matches(t, NestedLoops, Spec{R: r, S: s, M: 8})
+	got, res := matches(t, SortMerge, Spec{R: r, S: s, M: 8, SortChunks: 4, Parallelism: 4})
+	if !sameMultiset(got, want) {
+		t.Errorf("chunked sort-merge: match multiset differs from oracle")
+	}
+	if res.RSort.Chunks != 4 || res.SSort.Chunks != 4 {
+		t.Errorf("sort stats not surfaced: %+v / %+v", res.RSort, res.SSort)
+	}
+}
+
 // TestParallelEmitNeverConcurrent verifies the documented guarantee that
 // the user's emit callback is serialized: an unlocked counter in the
 // callback must still total correctly (and the -race run proves no two

@@ -2,8 +2,10 @@ package join
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
+	"mmdb/internal/exec"
 	"mmdb/internal/extsort"
 	"mmdb/internal/simio"
 	"mmdb/internal/tuple"
@@ -37,18 +39,59 @@ func sortMerge(spec Spec, emit Emit, res *Result) error {
 	if fanout < 2 {
 		fanout = 2
 	}
-	rStream, rStats, err := extsort.Sort(spec.R, spec.RCol, capR, fanout, prefix+".r", simio.Uncharged)
-	if err != nil {
-		return err
+	sortCfg := func(f filePart) extsort.Config {
+		return extsort.Config{
+			Col:         f.col,
+			MemTuples:   f.cap,
+			MaxFanout:   fanout,
+			Prefix:      f.prefix,
+			Input:       simio.Uncharged,
+			Chunks:      spec.SortChunks,
+			Parallelism: spec.Parallelism,
+		}
 	}
-	sStream, sStats, err := extsort.Sort(spec.S, spec.SCol, capS, fanout, prefix+".s", simio.Uncharged)
+
+	// The two relation sorts are independent — separate run namespaces,
+	// commutative counter charges — so they overlap on the pool. A serial
+	// pool runs them inline in order (R then S), the original phase
+	// structure; each sort additionally parallelizes internally per its
+	// Chunks/Parallelism config.
+	var rStream, sStream extsort.Stream
+	var rStats, sStats extsort.Stats
+	pool := exec.NewPool(spec.Parallelism)
+	err := pool.Gather(context.Background(),
+		func(context.Context) error {
+			var err error
+			rStream, rStats, err = extsort.SortWith(spec.R, sortCfg(filePart{spec.RCol, capR, prefix + ".r"}))
+			return err
+		},
+		func(context.Context) error {
+			var err error
+			sStream, sStats, err = extsort.SortWith(spec.S, sortCfg(filePart{spec.SCol, capS, prefix + ".s"}))
+			return err
+		},
+	)
+	if rStream != nil {
+		defer rStream.Close()
+	}
+	if sStream != nil {
+		defer sStream.Close()
+	}
 	if err != nil {
 		return err
 	}
 	res.Passes = 2 + rStats.MergePasses + sStats.MergePasses
 	res.Partitions = rStats.Runs + sStats.Runs
+	res.RSort, res.SSort = rStats, sStats
 
 	return mergeJoin(spec, rStream, sStream, emit)
+}
+
+// filePart bundles one relation's sort parameters.
+type filePart struct {
+	col    int
+	cap    int
+	prefix string
 }
 
 // mergeJoin joins two key-ordered streams, buffering each group of

@@ -58,6 +58,11 @@ type Query struct {
 	// virtual-clock charges are identical at every setting, so the
 	// optimizer's choices do not depend on the worker count.
 	Parallelism int
+	// SortChunks is forwarded to every executed join's Spec: sort-merge's
+	// run-formation decomposition (a plan knob — it changes the charges,
+	// unlike Parallelism). The optimizer's analytic cost model does not
+	// account for it, matching how GraceParts is also execution-only.
+	SortChunks int
 }
 
 func (q Query) withDefaults() Query {

@@ -26,6 +26,7 @@ package mmdb
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mmdb/internal/catalog"
@@ -92,6 +93,17 @@ type Options struct {
 	// are the same at every setting — parallelism trades wall-clock time
 	// only, never the paper's accounting.
 	Parallelism int
+	// SortChunks is the sort decomposition plan used by sort-merge joins
+	// and OrderBy: run formation splits each relation into this many
+	// page-range chunks (each with a proportional share of the sort
+	// memory) whose sorted streams a merge tree recombines. Unlike
+	// Parallelism this is a *plan* knob — like GRACE's partition count it
+	// changes the virtual counters (more, shorter runs; one extra
+	// selection-tree level) — but for a fixed SortChunks the counters are
+	// bit-identical at every Parallelism. 0 or 1 means the classic
+	// single-queue sort. Chunked sorts only speed up wall-clock time when
+	// Parallelism > 1.
+	SortChunks int
 
 	// MaxConcurrentQueries bounds how many admitted queries may execute
 	// simultaneously (the scheduler's slots). 0 means 1: queries are
@@ -263,6 +275,25 @@ type Database struct {
 	sched  *session.Scheduler
 	broker *session.Broker
 	locks  *session.LockTable
+	sorts  sortActivity
+}
+
+// sortActivity accumulates relation-sort telemetry across sessions (the
+// SessionMetrics Sort* fields).
+type sortActivity struct {
+	sorts       atomic.Uint64
+	runs        atomic.Uint64
+	mergePasses atomic.Uint64
+	inMemory    atomic.Uint64
+}
+
+func (a *sortActivity) record(runs, mergePasses int, inMemory bool) {
+	a.sorts.Add(1)
+	a.runs.Add(uint64(runs))
+	a.mergePasses.Add(uint64(mergePasses))
+	if inMemory {
+		a.inMemory.Add(1)
+	}
 }
 
 // Open creates an empty database.
@@ -440,6 +471,14 @@ type SessionMetrics struct {
 	GrantedPages     int    // pages currently out on grant
 	PeakGrantedPages int    // high-water mark of simultaneous grants
 	Grants           uint64 // grants issued so far
+
+	// Cumulative relation-sort activity (every sort-merge join input and
+	// OrderBy call): sorts executed, initial runs formed, intermediate
+	// merge passes run, and sorts that completed fully in memory.
+	Sorts           uint64
+	SortRuns        uint64
+	SortMergePasses uint64
+	SortsInMemory   uint64
 }
 
 // SessionMetrics returns a snapshot of scheduler and broker activity.
@@ -460,6 +499,11 @@ func (db *Database) SessionMetrics() SessionMetrics {
 		GrantedPages:     db.broker.Granted(),
 		PeakGrantedPages: db.broker.Peak(),
 		Grants:           db.broker.Grants(),
+
+		Sorts:           db.sorts.sorts.Load(),
+		SortRuns:        db.sorts.runs.Load(),
+		SortMergePasses: db.sorts.mergePasses.Load(),
+		SortsInMemory:   db.sorts.inMemory.Load(),
 	}
 	for c := range sm.PerClass {
 		pc := m.PerClass[c]

@@ -285,5 +285,6 @@ func (db *Database) buildPlannerQuery(q Query, m int, view *simio.Disk) (planner
 		Params:      db.opts.Params,
 		W:           1,
 		Parallelism: db.opts.Parallelism,
+		SortChunks:  db.opts.SortChunks,
 	}, nil
 }

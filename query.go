@@ -24,6 +24,19 @@ const (
 	HybridHash  = join.HybridHash
 )
 
+// SortStats reports how one relation sort of the §3.4 machinery executed:
+// how many replacement-selection runs formed, how many streams the final
+// on-the-fly merge combined, whether intermediate merge passes were needed
+// (the deepest chain when the sort was chunked), and whether the relation
+// fit in memory outright.
+type SortStats struct {
+	Runs        int
+	FinalRuns   int
+	MergePasses int
+	Chunks      int // run-formation chunks (1 = the classic single queue)
+	InMemory    bool
+}
+
 // JoinResult reports an executed join.
 type JoinResult struct {
 	Algorithm  JoinAlgorithm
@@ -36,6 +49,10 @@ type JoinResult struct {
 	// and hybrid hash completed via the GRACE spill fallback — the
 	// result is still exact, the pressure cost extra IO passes.
 	Degraded bool
+	// SortR and SortS detail how sort-merge sorted each input (zero for
+	// the hash algorithms); SortR describes the build side after any
+	// smaller-relation swap.
+	SortR, SortS SortStats
 }
 
 // withSession runs fn inside a one-shot admitted session: the single

@@ -208,6 +208,7 @@ func (s *Session) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol s
 		F:           s.db.opts.Params.F,
 		LiveM:       s.grant.Pages,
 		Parallelism: s.db.opts.Parallelism,
+		SortChunks:  s.db.opts.SortChunks,
 	}
 	swapped := false
 	if spec.S.NumPages() < spec.R.NumPages() {
@@ -229,6 +230,10 @@ func (s *Session) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol s
 	if err != nil {
 		return JoinResult{}, err
 	}
+	if res.Algorithm == SortMerge {
+		s.db.sorts.record(res.RSort.Runs, res.RSort.MergePasses, res.RSort.InMemory)
+		s.db.sorts.record(res.SSort.Runs, res.SSort.MergePasses, res.SSort.InMemory)
+	}
 	return JoinResult{
 		Algorithm:  res.Algorithm,
 		Matches:    res.Matches,
@@ -237,6 +242,8 @@ func (s *Session) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol s
 		Passes:     res.Passes,
 		Partitions: res.Partitions,
 		Degraded:   res.GraceFallback,
+		SortR:      SortStats(res.RSort),
+		SortS:      SortStats(res.SSort),
 	}, nil
 }
 
@@ -358,11 +365,20 @@ func (s *Session) OrderBy(relation, column string, fn func(Tuple) bool) error {
 		capacity = 2
 	}
 	fanout := s.grant.Pages()
-	stream, _, err := extsort.Sort(files[0], col, capacity, fanout,
-		fmt.Sprintf("orderby.%s.%d", relation, orderBySeq.Add(1)), simio.Uncharged)
+	stream, stats, err := extsort.SortWith(files[0], extsort.Config{
+		Col:         col,
+		MemTuples:   capacity,
+		MaxFanout:   fanout,
+		Prefix:      fmt.Sprintf("orderby.%s.%d", relation, orderBySeq.Add(1)),
+		Input:       simio.Uncharged,
+		Chunks:      s.db.opts.SortChunks,
+		Parallelism: s.db.opts.Parallelism,
+	})
 	if err != nil {
 		return err
 	}
+	defer stream.Close() // releases run files even when fn stops early
+	s.db.sorts.record(stats.Runs, stats.MergePasses, stats.InMemory)
 	for {
 		t, ok := stream.Next()
 		if !ok {
