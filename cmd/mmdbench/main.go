@@ -17,6 +17,7 @@
 //	mmdbench -exp priority            # priority-class admission ladder
 //	mmdbench -exp sort -parallel 8    # parallel external sort ladder
 //	mmdbench -exp chaos               # fault-plane chaos ladder
+//	mmdbench -exp wire -clients 8     # SQL-over-TCP serving ladder
 package main
 
 import (
@@ -29,14 +30,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|sort|chaos")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|sort|chaos|wire")
 	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
 	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
 	par := flag.Int("parallel", 1, "worker goroutines for executed join operators (1 = serial, -1 = GOMAXPROCS); virtual times are identical, wall time shrinks")
-	clients := flag.Int("clients", 8, "concurrency: top of the client ladder (runs 1,2,4,...,N)")
+	clients := flag.Int("clients", 8, "concurrency/wire: top of the client ladder (runs 1,2,4,...,N)")
 	tuples := flag.Int("tuples", 0, "sort: relation size override (0 = the default 80000); use a small value for smoke runs")
-	slots := flag.Int("slots", 8, "concurrency: MaxConcurrentQueries, held fixed across the ladder")
-	queue := flag.Int("queue", 64, "concurrency: admission queue depth")
+	slots := flag.Int("slots", 8, "concurrency/wire: MaxConcurrentQueries, held fixed across the ladder")
+	queue := flag.Int("queue", 64, "concurrency/wire: admission queue depth")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -174,6 +175,28 @@ func main() {
 		}
 		if !res.AllIdentical {
 			return fmt.Errorf("sort ladder: virtual counters differed across parallelism widths (see BENCH_sort.json)")
+		}
+		return nil
+	})
+	run("wire", func() error {
+		cfg := experiments.DefaultWireConfig()
+		cfg.Slots = *slots
+		cfg.QueueDepth = *queue
+		cfg.Clients = nil
+		for c := 1; c < *clients; c *= 2 {
+			cfg.Clients = append(cfg.Clients, c)
+		}
+		cfg.Clients = append(cfg.Clients, *clients)
+		res, err := experiments.RunWire(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		if err := res.WriteJSON("BENCH_wire.json"); err != nil {
+			return err
+		}
+		if !res.AllIdentical {
+			return fmt.Errorf("wire ladder: virtual counters differed across connection counts (see BENCH_wire.json)")
 		}
 		return nil
 	})

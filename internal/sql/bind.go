@@ -1,0 +1,573 @@
+package sql
+
+import (
+	"mmdb/internal/agg"
+	"mmdb/internal/expr"
+	"mmdb/internal/tuple"
+)
+
+// Catalog resolves table names to schemas; the engine adapts its catalog
+// behind this interface so the binder stays free of engine imports.
+type Catalog interface {
+	Table(name string) (*tuple.Schema, bool)
+}
+
+// Bound is a bound (name-resolved, type-checked) statement ready for the
+// engine's executor.
+type Bound interface{ bound() }
+
+// BoundTable is one resolved FROM table.
+type BoundTable struct {
+	Name   string
+	Schema *tuple.Schema
+}
+
+// BoundJoin is one resolved equijoin edge between two FROM tables.
+type BoundJoin struct {
+	LeftTable, LeftCol   int
+	RightTable, RightCol int
+}
+
+// Output is one projected output column: source table/column plus the
+// output field name (the reference as written).
+type Output struct {
+	Table, Col int
+	Name       string
+}
+
+// BoundAgg is one aggregate select item over the statement's single
+// table. Col is -1 for COUNT(*).
+type BoundAgg struct {
+	Func agg.Func
+	Star bool
+	Col  int
+	Name string
+}
+
+// BoundSelect is a bound SELECT. The executor picks a lowering from its
+// shape: Distinct → duplicate elimination; Aggs with GroupBy ≥ 0 →
+// hash aggregation; Aggs only → a single-pass accumulating scan;
+// otherwise a scan (1 table), a streaming hash join (2 tables) or a
+// planner-built multi-join (3+ tables). Section references in this file
+// are to docs/SQL.md.
+type BoundSelect struct {
+	Tables []BoundTable
+	Joins  []BoundJoin
+	// Preds holds the per-table WHERE predicate trees (docs/SQL.md
+	// §3.4: with more than one table every top-level conjunct must
+	// reference exactly one table). nil entries mean no predicate.
+	Preds []expr.Predicate
+
+	Cols     []Output // projected columns, in select-list order
+	Distinct bool     // SELECT g FROM t GROUP BY g
+
+	GroupBy  int // group column in table 0, or -1
+	Aggs     []BoundAgg
+	ValueCol int // shared aggregate input column for GROUP BY paths, or -1
+
+	OrderTable, OrderCol int // -1 when no ORDER BY
+	OrderOut             int // index into Cols, or -1 (single-table sorts pre-projection)
+	Desc                 bool
+	Limit                int64 // -1 when no LIMIT
+}
+
+// BoundInsert is a bound INSERT: rows are already coerced to the
+// schema's value kinds, in schema column order.
+type BoundInsert struct {
+	Table BoundTable
+	Rows  [][]tuple.Value
+}
+
+// BoundDelete is a bound DELETE; Pred is nil for DELETE without WHERE.
+type BoundDelete struct {
+	Table BoundTable
+	Pred  expr.Predicate
+}
+
+func (*BoundSelect) bound() {}
+func (*BoundInsert) bound() {}
+func (*BoundDelete) bound() {}
+
+// Bind resolves and type-checks a parsed statement against cat,
+// returning the §7-coded error for any violation of the docs/SQL.md
+// contract.
+func Bind(stmt Statement, cat Catalog) (Bound, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return bindSelect(s, cat)
+	case *InsertStmt:
+		return bindInsert(s, cat)
+	case *DeleteStmt:
+		return bindDelete(s, cat)
+	default:
+		return nil, errf(ErrUnsupported, 0, "unknown statement type %T", stmt)
+	}
+}
+
+type binder struct {
+	tables []BoundTable
+}
+
+// resolve maps a column reference to (table, column) indices per the
+// docs/SQL.md §2.3 rules: qualified references name a FROM table
+// exactly; bare references must match exactly one column across the
+// FROM tables.
+func (b *binder) resolve(ref ColRef) (int, int, *Error) {
+	if ref.Table != "" {
+		for ti, t := range b.tables {
+			if t.Name == ref.Table {
+				ci := t.Schema.FieldIndex(ref.Name)
+				if ci < 0 {
+					return 0, 0, errf(ErrUnknownColumn, ref.Pos, "table %q has no column %q", t.Name, ref.Name)
+				}
+				return ti, ci, nil
+			}
+		}
+		return 0, 0, errf(ErrUnknownTable, ref.Pos, "table %q is not in the FROM list", ref.Table)
+	}
+	ti, ci := -1, -1
+	for i, t := range b.tables {
+		if c := t.Schema.FieldIndex(ref.Name); c >= 0 {
+			if ti >= 0 {
+				return 0, 0, errf(ErrAmbiguousColumn, ref.Pos,
+					"column %q appears in both %q and %q; qualify it", ref.Name, b.tables[ti].Name, t.Name)
+			}
+			ti, ci = i, c
+		}
+	}
+	if ti < 0 {
+		return 0, 0, errf(ErrUnknownColumn, ref.Pos, "no FROM table has a column %q", ref.Name)
+	}
+	return ti, ci, nil
+}
+
+// literalValue coerces a literal to the column's kind (docs/SQL.md
+// §2.4): integer literals fit int64 and float64 columns; float literals
+// only float64; string literals only string columns, within the fixed
+// width when sized (INSERT).
+func literalValue(lit Literal, f tuple.Field, sized bool) (tuple.Value, *Error) {
+	switch f.Kind {
+	case tuple.Int64:
+		if lit.Kind != LitInt {
+			return tuple.Value{}, errf(ErrType, lit.Pos, "column %q is int64; literal is not an integer", f.Name)
+		}
+		return tuple.IntValue(lit.I), nil
+	case tuple.Float64:
+		switch lit.Kind {
+		case LitInt:
+			return tuple.FloatValue(float64(lit.I)), nil
+		case LitFloat:
+			return tuple.FloatValue(lit.F), nil
+		default:
+			return tuple.Value{}, errf(ErrType, lit.Pos, "column %q is float64; literal is a string", f.Name)
+		}
+	case tuple.String:
+		if lit.Kind != LitString {
+			return tuple.Value{}, errf(ErrType, lit.Pos, "column %q is string; literal is a number", f.Name)
+		}
+		if sized && len(lit.S) > f.Size {
+			return tuple.Value{}, errf(ErrType, lit.Pos,
+				"string %q (%d bytes) exceeds column %q width %d", lit.S, len(lit.S), f.Name, f.Size)
+		}
+		return tuple.StringValue(lit.S), nil
+	default:
+		return tuple.Value{}, errf(ErrType, lit.Pos, "column %q has unsupported kind", f.Name)
+	}
+}
+
+// bindPred binds a predicate subtree whose leaves must all reference the
+// same table, returning the table index. want is the required table
+// (-1 = infer from the first leaf).
+func (b *binder) bindPred(e Expr, want int) (expr.Predicate, int, *Error) {
+	switch e := e.(type) {
+	case *CmpExpr:
+		ti, ci, err := b.resolve(e.Col)
+		if err != nil {
+			return nil, 0, err
+		}
+		if want >= 0 && ti != want {
+			return nil, 0, errf(ErrUnsupported, e.Pos,
+				"WHERE term mixes tables %q and %q; each AND-separated term must reference one table",
+				b.tables[want].Name, b.tables[ti].Name)
+		}
+		schema := b.tables[ti].Schema
+		v, verr := literalValue(e.Lit, schema.Field(ci), false)
+		if verr != nil {
+			return nil, 0, verr
+		}
+		c, cerr := expr.NewComparison(schema, ci, cmpOp(e.Op), v)
+		if cerr != nil {
+			return nil, 0, errf(ErrType, e.Pos, "%v", cerr)
+		}
+		return c, ti, nil
+	case *AndExpr:
+		l, ti, err := b.bindPred(e.L, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, _, err := b.bindPred(e.R, ti)
+		if err != nil {
+			return nil, 0, err
+		}
+		return expr.And(l, r), ti, nil
+	case *OrExpr:
+		l, ti, err := b.bindPred(e.L, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, _, err := b.bindPred(e.R, ti)
+		if err != nil {
+			return nil, 0, err
+		}
+		return expr.Or(l, r), ti, nil
+	case *NotExpr:
+		k, ti, err := b.bindPred(e.E, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		return expr.Not(k), ti, nil
+	default:
+		return nil, 0, errf(ErrUnsupported, 0, "unsupported predicate %T", e)
+	}
+}
+
+func cmpOp(op string) expr.Op {
+	switch op {
+	case "=":
+		return expr.Eq
+	case "!=":
+		return expr.Ne
+	case "<":
+		return expr.Lt
+	case "<=":
+		return expr.Le
+	case ">":
+		return expr.Gt
+	default:
+		return expr.Ge
+	}
+}
+
+// conjuncts flattens the top-level AND spine of a predicate.
+func conjuncts(e Expr) []Expr {
+	if a, ok := e.(*AndExpr); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+func bindSelect(s *SelectStmt, cat Catalog) (*BoundSelect, error) {
+	b := &binder{}
+	for _, tr := range s.From {
+		schema, ok := cat.Table(tr.Name)
+		if !ok {
+			return nil, errf(ErrUnknownTable, tr.Pos, "no relation named %q", tr.Name)
+		}
+		for _, seen := range b.tables {
+			if seen.Name == tr.Name {
+				return nil, errf(ErrUnsupported, tr.Pos,
+					"table %q appears twice in FROM; self-joins are not supported", tr.Name)
+			}
+		}
+		b.tables = append(b.tables, BoundTable{Name: tr.Name, Schema: schema})
+	}
+	out := &BoundSelect{
+		Tables:     b.tables,
+		Preds:      make([]expr.Predicate, len(b.tables)),
+		GroupBy:    -1,
+		ValueCol:   -1,
+		OrderTable: -1,
+		OrderCol:   -1,
+		OrderOut:   -1,
+		Limit:      s.Limit,
+		Desc:       s.Desc,
+	}
+
+	// Join conditions: each must connect two distinct FROM tables with
+	// identically typed (and, for strings, identically sized) columns.
+	for _, jc := range s.Joins {
+		lt, lc, err := b.resolve(jc.Left)
+		if err != nil {
+			return nil, err
+		}
+		rt, rc, err := b.resolve(jc.Right)
+		if err != nil {
+			return nil, err
+		}
+		if lt == rt {
+			return nil, errf(ErrUnsupported, jc.Pos, "join condition references table %q on both sides", b.tables[lt].Name)
+		}
+		lf, rf := b.tables[lt].Schema.Field(lc), b.tables[rt].Schema.Field(rc)
+		if lf.Kind != rf.Kind || b.tables[lt].Schema.FieldWidth(lc) != b.tables[rt].Schema.FieldWidth(rc) {
+			return nil, errf(ErrType, jc.Pos, "join compares %s.%s (%v) with %s.%s (%v); kinds and widths must match",
+				b.tables[lt].Name, lf.Name, lf.Kind, b.tables[rt].Name, rf.Name, rf.Kind)
+		}
+		out.Joins = append(out.Joins, BoundJoin{LeftTable: lt, LeftCol: lc, RightTable: rt, RightCol: rc})
+	}
+
+	// WHERE: split into per-table trees (§3.4).
+	if s.Where != nil {
+		for _, c := range conjuncts(s.Where) {
+			p, ti, err := b.bindPred(c, -1)
+			if err != nil {
+				return nil, err
+			}
+			if out.Preds[ti] == nil {
+				out.Preds[ti] = p
+			} else {
+				out.Preds[ti] = expr.And(out.Preds[ti], p)
+			}
+		}
+	}
+
+	// GROUP BY (§3.5): single table only.
+	if s.GroupBy != nil {
+		if len(b.tables) > 1 {
+			return nil, errf(ErrUnsupported, s.GroupBy.Pos, "GROUP BY is supported over a single table only")
+		}
+		_, gc, err := b.resolve(*s.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		out.GroupBy = gc
+	}
+
+	// Select list.
+	if s.Star {
+		if s.GroupBy != nil {
+			return nil, errf(ErrUnsupported, s.GroupBy.Pos, "SELECT * cannot be combined with GROUP BY")
+		}
+		for ti, t := range b.tables {
+			for ci := 0; ci < t.Schema.NumFields(); ci++ {
+				name := t.Schema.Field(ci).Name
+				if len(b.tables) > 1 {
+					name = t.Name + "." + name
+				}
+				out.Cols = append(out.Cols, Output{Table: ti, Col: ci, Name: name})
+			}
+		}
+	} else {
+		hasAgg := false
+		for _, item := range s.Items {
+			if item.Agg != nil {
+				hasAgg = true
+			}
+		}
+		if hasAgg && len(b.tables) > 1 {
+			return nil, errf(ErrUnsupported, s.Items[0].pos(), "aggregates are supported over a single table only")
+		}
+		for _, item := range s.Items {
+			switch {
+			case item.Col != nil:
+				ti, ci, err := b.resolve(*item.Col)
+				if err != nil {
+					return nil, err
+				}
+				if hasAgg || out.GroupBy >= 0 {
+					if out.GroupBy < 0 || ci != out.GroupBy {
+						return nil, errf(ErrUnsupported, item.Col.Pos,
+							"column %q must be the GROUP BY column or wrapped in an aggregate", item.Col.String())
+					}
+				}
+				out.Cols = append(out.Cols, Output{Table: ti, Col: ci, Name: item.Col.String()})
+			case item.Agg != nil:
+				a := item.Agg
+				ba := BoundAgg{Func: aggFunc(a.Func), Star: a.Star, Col: -1, Name: a.String()}
+				if !a.Star {
+					ti, ci, err := b.resolve(a.Col)
+					if err != nil {
+						return nil, err
+					}
+					_ = ti // single table enforced above
+					if b.tables[0].Schema.Field(ci).Kind != tuple.Int64 {
+						return nil, errf(ErrType, a.Col.Pos,
+							"aggregate %s needs an int64 column; %q is %v",
+							a.Func, a.Col.String(), b.tables[0].Schema.Field(ci).Kind)
+					}
+					ba.Col = ci
+				}
+				out.Aggs = append(out.Aggs, ba)
+			}
+		}
+		// Distinct form: GROUP BY g with select list exactly the group
+		// column and no aggregates (§3.5.1).
+		if out.GroupBy >= 0 && len(out.Aggs) == 0 {
+			if len(out.Cols) != 1 || out.Cols[0].Col != out.GroupBy {
+				return nil, errf(ErrUnsupported, s.GroupBy.Pos,
+					"GROUP BY without aggregates selects exactly the group column (duplicate elimination)")
+			}
+			out.Distinct = true
+		}
+	}
+
+	// Grouped aggregates share one input column (§3.5.2).
+	if out.GroupBy >= 0 && len(out.Aggs) > 0 {
+		for _, a := range out.Aggs {
+			if a.Col < 0 {
+				continue
+			}
+			if out.ValueCol >= 0 && a.Col != out.ValueCol {
+				return nil, errf(ErrUnsupported, 0,
+					"grouped aggregates must share one value column; got %q and %q",
+					b.tables[0].Schema.Field(out.ValueCol).Name, b.tables[0].Schema.Field(a.Col).Name)
+			}
+			out.ValueCol = a.Col
+		}
+		if out.ValueCol < 0 { // COUNT(*) only: any int64 column feeds the pass
+			schema := b.tables[0].Schema
+			if schema.Field(out.GroupBy).Kind == tuple.Int64 {
+				out.ValueCol = out.GroupBy
+			} else {
+				for ci := 0; ci < schema.NumFields(); ci++ {
+					if schema.Field(ci).Kind == tuple.Int64 {
+						out.ValueCol = ci
+						break
+					}
+				}
+			}
+			if out.ValueCol < 0 {
+				return nil, errf(ErrType, 0, "COUNT(*) with GROUP BY needs at least one int64 column in the table")
+			}
+		}
+	}
+
+	// ORDER BY (§3.6).
+	if s.OrderBy != nil {
+		ti, ci, err := b.resolve(*s.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case out.GroupBy >= 0:
+			if ci != out.GroupBy {
+				return nil, errf(ErrUnsupported, s.OrderBy.Pos, "a grouped query may ORDER BY its group column only")
+			}
+		case len(out.Aggs) > 0:
+			return nil, errf(ErrUnsupported, s.OrderBy.Pos, "ORDER BY is meaningless on a single-row aggregate")
+		case len(b.tables) > 1:
+			for oi, c := range out.Cols {
+				if c.Table == ti && c.Col == ci {
+					out.OrderOut = oi
+					break
+				}
+			}
+			if out.OrderOut < 0 {
+				return nil, errf(ErrUnsupported, s.OrderBy.Pos,
+					"ORDER BY column of a join query must appear in the select list")
+			}
+		}
+		out.OrderTable, out.OrderCol = ti, ci
+	}
+
+	// Output columns must be distinct — names become the result schema's
+	// field names, and with no aliases a repeated source column could
+	// never be told apart.
+	seen := map[string]bool{}
+	seenSrc := map[[2]int]bool{}
+	for _, c := range out.Cols {
+		if seen[c.Name] || seenSrc[[2]int{c.Table, c.Col}] {
+			return nil, errf(ErrUnsupported, 0, "duplicate output column %q; drop one", c.Name)
+		}
+		seen[c.Name] = true
+		seenSrc[[2]int{c.Table, c.Col}] = true
+	}
+	for _, a := range out.Aggs {
+		if seen[a.Name] {
+			return nil, errf(ErrUnsupported, 0, "duplicate output column %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return out, nil
+}
+
+// pos returns a best-effort position for a select item.
+func (it SelectItem) pos() int {
+	if it.Col != nil {
+		return it.Col.Pos
+	}
+	if it.Agg != nil {
+		return it.Agg.Pos
+	}
+	return 0
+}
+
+func aggFunc(name string) agg.Func {
+	switch name {
+	case "COUNT":
+		return agg.Count
+	case "SUM":
+		return agg.Sum
+	case "MIN":
+		return agg.Min
+	case "MAX":
+		return agg.Max
+	default:
+		return agg.Avg
+	}
+}
+
+func bindInsert(s *InsertStmt, cat Catalog) (*BoundInsert, error) {
+	schema, ok := cat.Table(s.Table.Name)
+	if !ok {
+		return nil, errf(ErrUnknownTable, s.Table.Pos, "no relation named %q", s.Table.Name)
+	}
+	n := schema.NumFields()
+	// Column list: a permutation of the full schema (no defaults).
+	order := make([]int, n) // position in VALUES row -> schema column
+	if s.Cols == nil {
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		if len(s.Cols) != n {
+			return nil, errf(ErrUnsupported, s.Table.Pos,
+				"INSERT column list names %d of %d columns; all columns are required (no defaults)", len(s.Cols), n)
+		}
+		used := make([]bool, n)
+		for i, c := range s.Cols {
+			ci := schema.FieldIndex(c.Name)
+			if ci < 0 {
+				return nil, errf(ErrUnknownColumn, c.Pos, "table %q has no column %q", s.Table.Name, c.Name)
+			}
+			if used[ci] {
+				return nil, errf(ErrUnsupported, c.Pos, "column %q listed twice", c.Name)
+			}
+			used[ci] = true
+			order[i] = ci
+		}
+	}
+	bi := &BoundInsert{Table: BoundTable{Name: s.Table.Name, Schema: schema}}
+	for _, row := range s.Rows {
+		if len(row) != n {
+			return nil, errf(ErrType, row[0].Pos, "VALUES row has %d values; table %q has %d columns", len(row), s.Table.Name, n)
+		}
+		vals := make([]tuple.Value, n)
+		for i, lit := range row {
+			ci := order[i]
+			v, err := literalValue(lit, schema.Field(ci), true)
+			if err != nil {
+				return nil, err
+			}
+			vals[ci] = v
+		}
+		bi.Rows = append(bi.Rows, vals)
+	}
+	return bi, nil
+}
+
+func bindDelete(s *DeleteStmt, cat Catalog) (*BoundDelete, error) {
+	schema, ok := cat.Table(s.Table.Name)
+	if !ok {
+		return nil, errf(ErrUnknownTable, s.Table.Pos, "no relation named %q", s.Table.Name)
+	}
+	bd := &BoundDelete{Table: BoundTable{Name: s.Table.Name, Schema: schema}}
+	if s.Where != nil {
+		b := &binder{tables: []BoundTable{bd.Table}}
+		p, _, err := b.bindPred(s.Where, -1)
+		if err != nil {
+			return nil, err
+		}
+		bd.Pred = p
+	}
+	return bd, nil
+}

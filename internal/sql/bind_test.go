@@ -1,0 +1,244 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+
+	"mmdb/internal/agg"
+	"mmdb/internal/tuple"
+)
+
+// testCatalog is the docs/SQL.md running example: emp(id, dept, salary
+// int64; name string16) and dept(id, budget int64; city string12).
+type testCatalog map[string]*tuple.Schema
+
+func (c testCatalog) Table(name string) (*tuple.Schema, bool) {
+	s, ok := c[name]
+	return s, ok
+}
+
+func newTestCatalog() testCatalog {
+	return testCatalog{
+		"emp": tuple.MustSchema(
+			tuple.Field{Name: "id", Kind: tuple.Int64},
+			tuple.Field{Name: "dept", Kind: tuple.Int64},
+			tuple.Field{Name: "salary", Kind: tuple.Int64},
+			tuple.Field{Name: "name", Kind: tuple.String, Size: 16},
+		),
+		"dept": tuple.MustSchema(
+			tuple.Field{Name: "id", Kind: tuple.Int64},
+			tuple.Field{Name: "budget", Kind: tuple.Int64},
+			tuple.Field{Name: "city", Kind: tuple.String, Size: 12},
+		),
+	}
+}
+
+func bindSQL(t *testing.T, src string) (Bound, error) {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return Bind(stmt, newTestCatalog())
+}
+
+func mustBindSelect(t *testing.T, src string) *BoundSelect {
+	t.Helper()
+	b, err := bindSQL(t, src)
+	if err != nil {
+		t.Fatalf("Bind(%q): %v", src, err)
+	}
+	return b.(*BoundSelect)
+}
+
+// TestBindResolution covers the §2.3 reference rules.
+func TestBindResolution(t *testing.T) {
+	s := mustBindSelect(t, "SELECT salary, emp.name FROM emp")
+	if len(s.Cols) != 2 || s.Cols[0].Col != 2 || s.Cols[1].Col != 3 {
+		t.Fatalf("resolution wrong: %+v", s.Cols)
+	}
+
+	// Bare name unique across a join resolves; output keeps spelling.
+	s = mustBindSelect(t, "SELECT salary, budget FROM emp JOIN dept ON emp.dept = dept.id")
+	if s.Cols[0].Table != 0 || s.Cols[1].Table != 1 {
+		t.Fatalf("cross-table bare resolution wrong: %+v", s.Cols)
+	}
+	if s.Cols[1].Name != "budget" {
+		t.Fatalf("output name wrong: %q", s.Cols[1].Name)
+	}
+}
+
+// TestBindStar covers §3.1 star expansion and its naming rule.
+func TestBindStar(t *testing.T) {
+	s := mustBindSelect(t, "SELECT * FROM emp")
+	if len(s.Cols) != 4 || s.Cols[0].Name != "id" {
+		t.Fatalf("single-table star: %+v", s.Cols)
+	}
+	s = mustBindSelect(t, "SELECT * FROM emp JOIN dept ON emp.dept = dept.id")
+	if len(s.Cols) != 7 || s.Cols[0].Name != "emp.id" || s.Cols[4].Name != "dept.id" {
+		t.Fatalf("join star must qualify: %+v", s.Cols)
+	}
+}
+
+// TestBindWhereSplit covers the §3.4 multi-table conjunct rule.
+func TestBindWhereSplit(t *testing.T) {
+	s := mustBindSelect(t,
+		"SELECT emp.id FROM emp JOIN dept ON emp.dept = dept.id WHERE salary > 50000 AND budget < 100 AND emp.id != 3")
+	if s.Preds[0] == nil || s.Preds[1] == nil {
+		t.Fatalf("predicates not split per table: %+v", s.Preds)
+	}
+
+	// Single table: arbitrary shapes allowed.
+	s = mustBindSelect(t, "SELECT id FROM emp WHERE (dept = 1 OR dept = 2) AND NOT salary < 10")
+	if s.Preds[0] == nil {
+		t.Fatal("single-table predicate dropped")
+	}
+}
+
+// TestBindGroupAndAggregates covers §3.5 and §3.5.2.
+func TestBindGroupAndAggregates(t *testing.T) {
+	s := mustBindSelect(t, "SELECT dept, COUNT(*), SUM(salary), MIN(salary), MAX(salary) FROM emp GROUP BY dept")
+	if s.GroupBy != 1 || len(s.Aggs) != 4 || s.ValueCol != 2 {
+		t.Fatalf("grouped agg wrong: group=%d aggs=%d value=%d", s.GroupBy, len(s.Aggs), s.ValueCol)
+	}
+	if s.Aggs[0].Func != agg.Count || !s.Aggs[0].Star {
+		t.Fatalf("COUNT(*) wrong: %+v", s.Aggs[0])
+	}
+
+	// COUNT(*)-only grouped query borrows an int64 column (§3.5.2).
+	s = mustBindSelect(t, "SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+	if s.ValueCol != 1 { // group col is int64, preferred
+		t.Fatalf("COUNT(*) value col = %d, want the group column 1", s.ValueCol)
+	}
+
+	// §3.5.1 duplicate elimination form.
+	s = mustBindSelect(t, "SELECT dept FROM emp GROUP BY dept")
+	if !s.Distinct || s.GroupBy != 1 {
+		t.Fatalf("distinct form wrong: %+v", s)
+	}
+
+	// Global aggregate: different value columns are fine (§3.5.2).
+	s = mustBindSelect(t, "SELECT COUNT(*), SUM(salary), MAX(id) FROM emp")
+	if s.GroupBy != -1 || len(s.Aggs) != 3 {
+		t.Fatalf("global agg wrong: %+v", s)
+	}
+}
+
+// TestBindOrderRules covers §3.6.
+func TestBindOrderRules(t *testing.T) {
+	// Single table: sort column need not be projected.
+	s := mustBindSelect(t, "SELECT id FROM emp ORDER BY salary DESC")
+	if s.OrderTable != 0 || s.OrderCol != 2 || !s.Desc || s.OrderOut != -1 {
+		t.Fatalf("single-table order wrong: %+v", s)
+	}
+	// Join: sort column must be in the select list; OrderOut locates it.
+	s = mustBindSelect(t, "SELECT budget, emp.id FROM emp JOIN dept ON emp.dept = dept.id ORDER BY emp.id")
+	if s.OrderOut != 1 {
+		t.Fatalf("join OrderOut = %d, want 1", s.OrderOut)
+	}
+}
+
+// TestBindInsert covers §3.2 coercion and permutation rules.
+func TestBindInsert(t *testing.T) {
+	b, err := bindSQL(t, "INSERT INTO emp (salary, id, dept, name) VALUES (52000, 3, 10, 'Kim')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := b.(*BoundInsert)
+	row := ins.Rows[0] // in schema order: id, dept, salary, name
+	if row[0].I != 3 || row[1].I != 10 || row[2].I != 52000 || row[3].S != "Kim" {
+		t.Fatalf("permuted insert wrong: %+v", row)
+	}
+
+	// Integer literal widens into a float64 column (§2.4) — dept has no
+	// float column, so exercise via a fresh catalog.
+	cat := testCatalog{"m": tuple.MustSchema(
+		tuple.Field{Name: "x", Kind: tuple.Float64},
+	)}
+	stmt, _ := Parse("INSERT INTO m VALUES (7)")
+	bi, err := Bind(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := bi.(*BoundInsert).Rows[0][0]; v.Kind != tuple.Float64 || v.F != 7 {
+		t.Fatalf("int→float widening wrong: %+v", v)
+	}
+}
+
+// TestBindDelete covers §3.3.
+func TestBindDelete(t *testing.T) {
+	b, err := bindSQL(t, "DELETE FROM emp WHERE dept = 20 AND salary < 40000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.(*BoundDelete).Pred == nil {
+		t.Fatal("predicate dropped")
+	}
+	b, err = bindSQL(t, "DELETE FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.(*BoundDelete).Pred != nil {
+		t.Fatal("bare DELETE should have nil Pred")
+	}
+}
+
+// TestBindErrors covers the §7.3–§7.7 taxonomy with the docs/SQL.md
+// examples plus the per-rule rejections.
+func TestBindErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		code Code
+	}{
+		// §7.3 unknown table
+		{"SELECT * FROM nonesuch", ErrUnknownTable},
+		{"SELECT bogus.id FROM emp", ErrUnknownTable},
+		{"INSERT INTO nonesuch VALUES (1)", ErrUnknownTable},
+		{"DELETE FROM nonesuch", ErrUnknownTable},
+		// §7.4 unknown column
+		{"SELECT emp.nonesuch FROM emp", ErrUnknownColumn},
+		{"SELECT nonesuch FROM emp JOIN dept ON emp.dept = dept.id", ErrUnknownColumn},
+		{"INSERT INTO emp (id, dept, salary, wages) VALUES (1,2,3,4)", ErrUnknownColumn},
+		// §7.5 ambiguous column
+		{"SELECT id FROM emp JOIN dept ON emp.dept = dept.id", ErrAmbiguousColumn},
+		{"SELECT emp.id FROM emp JOIN dept ON id = dept.id", ErrAmbiguousColumn},
+		// §7.6 type errors
+		{"SELECT * FROM emp WHERE id = 'ten'", ErrType},
+		{"SELECT * FROM emp WHERE id = 1.5", ErrType},
+		{"SELECT SUM(name) FROM emp", ErrType},
+		{"INSERT INTO emp VALUES (1, 2)", ErrType},
+		{"INSERT INTO emp VALUES (1, 2, 3, 'this name is far too long for sixteen')", ErrType},
+		{"INSERT INTO emp VALUES (1, 2, 3.5, 'x')", ErrType},
+		{"SELECT emp.id FROM emp JOIN dept ON emp.name = dept.city", ErrType}, // width mismatch
+		// §7.7 unsupported
+		{"SELECT * FROM emp JOIN emp ON emp.id = emp.id", ErrUnsupported},
+		{"SELECT emp.id FROM emp JOIN dept ON emp.dept = dept.id WHERE salary > 1 OR budget > 2", ErrUnsupported},
+		{"SELECT dept, COUNT(*) FROM emp JOIN dept ON emp.dept = dept.id GROUP BY emp.dept", ErrUnsupported},
+		{"SELECT COUNT(*) FROM emp JOIN dept ON emp.dept = dept.id", ErrUnsupported},
+		{"SELECT dept, salary FROM emp GROUP BY dept", ErrUnsupported},
+		{"SELECT salary, COUNT(*) FROM emp GROUP BY dept", ErrUnsupported},
+		{"SELECT dept, SUM(salary), MAX(id) FROM emp GROUP BY dept", ErrUnsupported},
+		{"SELECT id, emp.id FROM emp", ErrUnsupported},
+		{"SELECT COUNT(*) FROM emp ORDER BY id", ErrUnsupported},
+		{"SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY salary", ErrUnsupported},
+		{"SELECT emp.id FROM emp JOIN dept ON emp.dept = dept.id ORDER BY budget", ErrUnsupported},
+		{"INSERT INTO emp (id, dept) VALUES (1, 2)", ErrUnsupported},
+		{"INSERT INTO emp (id, id, dept, salary) VALUES (1,2,3,4)", ErrUnsupported},
+		{"SELECT emp.id FROM emp JOIN dept ON emp.id = emp.dept", ErrUnsupported}, // one-sided ON
+	}
+	for _, c := range cases {
+		_, err := bindSQL(t, c.src)
+		if err == nil {
+			t.Errorf("Bind(%q): no error, want %v", c.src, c.code)
+			continue
+		}
+		var se *Error
+		if !errors.As(err, &se) {
+			t.Errorf("Bind(%q): error %T is not *sql.Error", c.src, err)
+			continue
+		}
+		if se.Code != c.code {
+			t.Errorf("Bind(%q): code %v (%q), want %v", c.src, se.Code, se.Msg, c.code)
+		}
+	}
+}

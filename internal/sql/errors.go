@@ -1,0 +1,89 @@
+// Package sql is the engine's SQL front door: a hand-written tokenizer,
+// a recursive-descent parser producing a small AST, and a binder that
+// resolves names against the catalog and lowers statements onto the
+// engine's typed predicates (internal/expr) and the §4 planner's query
+// shape. The grammar, type rules and error taxonomy are specified in
+// docs/SQL.md — that document is the contract; parser and binder tests
+// cite its section numbers.
+package sql
+
+import "fmt"
+
+// Code classifies a front-door rejection. Every code corresponds to one
+// subsection of the docs/SQL.md error taxonomy (§7) and renders with that
+// section number, so an error message always points at its contract.
+type Code int
+
+// Rejection codes (docs/SQL.md §7).
+const (
+	// ErrLex (§7.1): the input could not be tokenized — an unterminated
+	// string, an illegal character, or a malformed/overflowing number.
+	ErrLex Code = iota + 1
+	// ErrSyntax (§7.2): tokens did not match the grammar.
+	ErrSyntax
+	// ErrUnknownTable (§7.3): a FROM/JOIN/INTO table or a qualifier
+	// names no cataloged relation (or no relation in the FROM list).
+	ErrUnknownTable
+	// ErrUnknownColumn (§7.4): a column reference resolves to no column
+	// of its table (or of any FROM table, when unqualified).
+	ErrUnknownColumn
+	// ErrAmbiguousColumn (§7.5): an unqualified column name matches
+	// columns in two or more FROM tables.
+	ErrAmbiguousColumn
+	// ErrType (§7.6): a literal's kind does not fit its column, an
+	// aggregate is applied to a non-int64 column, a join compares
+	// differently typed columns, or a string literal exceeds its
+	// column's fixed width.
+	ErrType
+	// ErrUnsupported (§7.7): the statement is grammatical and
+	// well-typed but outside the engine's documented semantic subset
+	// (e.g. GROUP BY over a join, a cross-table WHERE disjunct).
+	ErrUnsupported
+)
+
+// section maps a code to its docs/SQL.md subsection.
+func (c Code) section() string {
+	if c >= ErrLex && c <= ErrUnsupported {
+		return fmt.Sprintf("§7.%d", int(c))
+	}
+	return "§7"
+}
+
+func (c Code) String() string {
+	switch c {
+	case ErrLex:
+		return "lexical error"
+	case ErrSyntax:
+		return "syntax error"
+	case ErrUnknownTable:
+		return "unknown table"
+	case ErrUnknownColumn:
+		return "unknown column"
+	case ErrAmbiguousColumn:
+		return "ambiguous column"
+	case ErrType:
+		return "type error"
+	case ErrUnsupported:
+		return "unsupported"
+	default:
+		return fmt.Sprintf("Code(%d)", int(c))
+	}
+}
+
+// Error is a typed front-door rejection: what class of problem (Code,
+// keyed to the docs/SQL.md §7 taxonomy), where in the statement text
+// (byte offset), and a human-readable message.
+type Error struct {
+	Code Code
+	Pos  int // byte offset into the statement text
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: %s (SQL.md %s) at byte %d: %s", e.Code, e.Code.section(), e.Pos, e.Msg)
+}
+
+// errf builds a typed rejection.
+func errf(code Code, pos int, format string, args ...any) *Error {
+	return &Error{Code: code, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

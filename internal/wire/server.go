@@ -1,0 +1,292 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"mmdb"
+	sqlfront "mmdb/internal/sql"
+)
+
+// RowBatch is how many result rows a ROWS frame carries at most.
+const RowBatch = 256
+
+// Server serves the wire protocol over TCP, multiplexing connections
+// onto the engine's session scheduler: every QUERY frame runs in its
+// own admitted session under the frame's (or the connection's) query
+// class and memory request, so the priority-class admission machinery —
+// including ErrOverloaded shedding — operates per statement, end to end.
+type Server struct {
+	DB   *mmdb.Database
+	Name string // reported in WELCOME
+
+	lis    net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	stats Stats
+}
+
+// Stats counts server activity (atomic snapshot via Stats()).
+type Stats struct {
+	Connections atomic.Uint64 // accepted connections
+	Queries     atomic.Uint64 // QUERY frames served (any outcome)
+	Errors      atomic.Uint64 // ERROR frames sent
+	Overloads   atomic.Uint64 // OVERLOAD frames sent
+}
+
+// Stats returns the server's activity counters.
+func (srv *Server) Stats() *Stats { return &srv.stats }
+
+// Listen binds addr (e.g. "127.0.0.1:0") without serving yet; the
+// returned address carries the chosen port.
+func (srv *Server) Listen(addr string) (net.Addr, error) {
+	if srv.DB == nil {
+		return nil, fmt.Errorf("wire: server has no database")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv.mu.Lock()
+	srv.lis = lis
+	srv.conns = make(map[net.Conn]struct{})
+	srv.mu.Unlock()
+	return lis.Addr(), nil
+}
+
+// Serve accepts connections until Close; each connection is handled on
+// its own goroutine (one goroutine per connection, one session per
+// query). Serve returns nil after Close.
+func (srv *Server) Serve() error {
+	srv.mu.Lock()
+	lis := srv.lis
+	srv.mu.Unlock()
+	if lis == nil {
+		return fmt.Errorf("wire: Serve before Listen")
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			srv.mu.Lock()
+			closed := srv.closed
+			srv.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		srv.mu.Lock()
+		if srv.closed {
+			srv.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		srv.conns[conn] = struct{}{}
+		srv.mu.Unlock()
+		srv.stats.Connections.Add(1)
+		srv.wg.Add(1)
+		go func() {
+			defer srv.wg.Done()
+			defer func() {
+				srv.mu.Lock()
+				delete(srv.conns, conn)
+				srv.mu.Unlock()
+				conn.Close()
+			}()
+			srv.handleConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (srv *Server) ListenAndServe(addr string) error {
+	if _, err := srv.Listen(addr); err != nil {
+		return err
+	}
+	return srv.Serve()
+}
+
+// Close stops accepting, closes every live connection and waits for
+// their handlers to finish.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil
+	}
+	srv.closed = true
+	lis := srv.lis
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	srv.wg.Wait()
+	return err
+}
+
+// protoError sends a CodeProto ERROR and signals the caller to close
+// the connection (docs/WIRE.md §5.1: protocol errors are fatal to the
+// connection, statement errors are not).
+func (srv *Server) protoError(conn net.Conn, format string, args ...any) {
+	srv.stats.Errors.Add(1)
+	_ = WriteFrame(conn, TError, EncodeError(ErrorFrame{Code: CodeProto, Msg: fmt.Sprintf(format, args...)}))
+}
+
+func (srv *Server) handleConn(conn net.Conn) {
+	// HELLO/WELCOME version and default negotiation (docs/WIRE.md §4.1).
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	if typ != THello {
+		srv.protoError(conn, "expected HELLO, got frame type 0x%02X", typ)
+		return
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		srv.protoError(conn, "bad HELLO: %v", err)
+		return
+	}
+	if hello.Version != Version {
+		srv.protoError(conn, "protocol version %d not supported (server speaks %d)", hello.Version, Version)
+		return
+	}
+	if _, err := classOf(hello.Class); err != nil {
+		srv.protoError(conn, "%v", err)
+		return
+	}
+	if err := WriteFrame(conn, TWelcome, EncodeWelcome(Welcome{Version: Version, Server: srv.Name})); err != nil {
+		return
+	}
+
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		switch typ {
+		case TPing:
+			if err := WriteFrame(conn, TPong, nil); err != nil {
+				return
+			}
+		case TQuery:
+			q, err := DecodeQuery(payload)
+			if err != nil {
+				srv.protoError(conn, "bad QUERY: %v", err)
+				return
+			}
+			if !srv.serveQuery(conn, hello, q) {
+				return
+			}
+		default:
+			srv.protoError(conn, "unexpected frame type 0x%02X", typ)
+			return
+		}
+	}
+}
+
+// classOf validates a wire class byte.
+func classOf(b byte) (mmdb.QueryClass, error) {
+	c := mmdb.QueryClass(b)
+	if int(c) < 0 || int(c) >= mmdb.NumClasses {
+		return 0, fmt.Errorf("wire: unknown query class %d", b)
+	}
+	return c, nil
+}
+
+// serveQuery runs one statement in a fresh session and writes its
+// response frames. It returns false when the connection must close
+// (write failure or protocol error); statement failures — including
+// overload shedding — keep the connection alive.
+func (srv *Server) serveQuery(conn net.Conn, hello Hello, q Query) bool {
+	srv.stats.Queries.Add(1)
+	classByte := q.Class
+	if classByte == ClassDefault {
+		classByte = hello.Class
+	}
+	class, err := classOf(classByte)
+	if err != nil {
+		srv.protoError(conn, "%v", err)
+		return false
+	}
+	minPages := q.MinPages
+	if minPages == 0 {
+		minPages = hello.MinPages
+	}
+	opts := []mmdb.SessionOption{mmdb.WithClass(class)}
+	if minPages > 0 {
+		opts = append(opts, mmdb.WithMinPages(int(minPages)))
+	}
+
+	sess, err := srv.DB.NewSession(context.Background(), opts...)
+	if err != nil {
+		var ov *mmdb.OverloadError
+		if errors.As(err, &ov) {
+			srv.stats.Overloads.Add(1)
+			return WriteFrame(conn, TOverload, EncodeOverload(Overload{
+				Class: byte(ov.Class),
+				Depth: uint32(ov.Depth),
+				Msg:   ov.Error(),
+			})) == nil
+		}
+		srv.stats.Errors.Add(1)
+		return WriteFrame(conn, TError, EncodeError(ErrorFrame{Code: CodeExec, Msg: err.Error()})) == nil
+	}
+	res, err := sess.Query(q.SQL)
+	queued := sess.QueuedFor()
+	sess.Close()
+	if err != nil {
+		srv.stats.Errors.Add(1)
+		return WriteFrame(conn, TError, EncodeError(ErrorFrame{Code: errCode(err), Msg: err.Error()})) == nil
+	}
+
+	result := Result{Affected: res.Affected}
+	if res.Schema != nil {
+		for i := 0; i < res.Schema.NumFields(); i++ {
+			f := res.Schema.Field(i)
+			result.Fields = append(result.Fields, FieldDesc{Name: f.Name, Kind: f.Kind, Size: uint16(f.Size)})
+		}
+	}
+	if err := WriteFrame(conn, TResult, EncodeResult(result)); err != nil {
+		return false
+	}
+	for i := 0; i < len(res.Rows); i += RowBatch {
+		end := i + RowBatch
+		if end > len(res.Rows) {
+			end = len(res.Rows)
+		}
+		if err := WriteFrame(conn, TRows, EncodeRows(res.Rows[i:end])); err != nil {
+			return false
+		}
+	}
+	c := res.Counters
+	return WriteFrame(conn, TDone, EncodeDone(Done{
+		RowCount:  uint32(len(res.Rows)),
+		Counters:  [6]int64{c.Comps, c.Hashes, c.Moves, c.Swaps, c.SeqIOs, c.RandIOs},
+		ElapsedNS: int64(res.Elapsed),
+		QueuedNS:  int64(queued),
+	})) == nil
+}
+
+// errCode maps a statement failure onto the WIRE.md §5 code space.
+func errCode(err error) uint16 {
+	var se *sqlfront.Error
+	if errors.As(err, &se) {
+		if se.Code == sqlfront.ErrLex || se.Code == sqlfront.ErrSyntax {
+			return CodeParse
+		}
+		return CodeSemantic
+	}
+	return CodeExec
+}

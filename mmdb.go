@@ -53,6 +53,8 @@ type (
 	Params = cost.Params
 	// Counters tallies primitive operations charged to the virtual clock.
 	Counters = cost.Counters
+	// Kind is a column's value kind (Int64, Float64, String).
+	Kind = tuple.Kind
 )
 
 // Column kinds.

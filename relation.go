@@ -171,6 +171,39 @@ func (r *Relation) Delete(column string, v Value) (int64, error) {
 	return removed, err
 }
 
+// DeleteWhere removes every row matching the predicate, returning the
+// count. A nil predicate removes every row. Indexes are rebuilt
+// afterwards (bulk maintenance), exactly as in Delete.
+func (r *Relation) DeleteWhere(p *Pred) (int64, error) {
+	if p != nil {
+		if err := p.Err(); err != nil {
+			return 0, err
+		}
+		if p.rel != r.rel {
+			return 0, fmt.Errorf("mmdb: predicate over %q used on %q", p.rel.Name, r.Name())
+		}
+	}
+	var removed int64
+	err := r.withIntent(lock.Exclusive, func() error {
+		err := r.rel.File.Rewrite(func(t tuple.Tuple) (tuple.Tuple, bool) {
+			if p == nil || p.inner.Eval(t) {
+				removed++
+				return nil, false
+			}
+			return t, true
+		})
+		if err != nil {
+			removed = 0
+			return err
+		}
+		if removed > 0 {
+			return r.rebuildIndexes()
+		}
+		return nil
+	})
+	return removed, err
+}
+
 // Update sets setColumn to newVal on every row whose column equals v,
 // returning the count. Indexes are rebuilt afterwards.
 func (r *Relation) Update(column string, v Value, setColumn string, newVal Value) (int64, error) {

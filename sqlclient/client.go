@@ -1,0 +1,227 @@
+// Package sqlclient is the Go client for the mmdb wire protocol
+// (docs/WIRE.md): it dials a server, speaks HELLO/WELCOME, and runs SQL
+// statements, decoding result rows back into values and rebuilding the
+// engine's typed errors — an OVERLOAD frame comes back as an
+// *mmdb.OverloadError, so errors.Is(err, mmdb.ErrOverloaded) works on
+// the client side exactly as it does against an in-process Database.
+package sqlclient
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"mmdb"
+	"mmdb/internal/wire"
+)
+
+// Option configures a connection at Dial time.
+type Option func(*config)
+
+type config struct {
+	class    mmdb.QueryClass
+	minPages uint32
+}
+
+// WithClass sets the connection's default query class (every statement
+// runs under it unless QueryClass overrides). The zero default is
+// Batch, matching mmdb.NewSession.
+func WithClass(c mmdb.QueryClass) Option { return func(cfg *config) { cfg.class = c } }
+
+// WithMinPages sets the connection's default minimum memory grant in
+// pages (mmdb.WithMinPages on each server-side session). 0 keeps the
+// broker's policy default.
+func WithMinPages(n int) Option { return func(cfg *config) { cfg.minPages = uint32(n) } }
+
+// Col describes one result column.
+type Col struct {
+	Name string
+	Kind mmdb.Kind
+	Size int // byte width of String columns
+}
+
+// Result is one statement's outcome: the rows (empty for INSERT or
+// DELETE), the affected-row count, and the statement's virtual-clock
+// bill as measured by the server.
+type Result struct {
+	Cols     []Col
+	Rows     [][]mmdb.Value
+	Affected int64
+	Counters mmdb.Counters
+	Elapsed  time.Duration // virtual time the statement cost
+	Queued   time.Duration // wall time the session queued for admission
+	Server   string        // server name from WELCOME
+}
+
+// ServerError is a statement failure reported over the wire; Code is a
+// wire.Code* constant and Msg the server's rendered error (for parse
+// and binding failures it carries the SQL.md §7 citation).
+type ServerError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("wire: server error %d: %s", e.Code, e.Msg) }
+
+// Client is one wire connection. Not safe for concurrent use: the
+// protocol runs one statement at a time per connection — open more
+// connections for concurrency, as mmdbench -exp wire does.
+type Client struct {
+	conn   net.Conn
+	cfg    config
+	server string
+}
+
+// Dial connects and performs the HELLO/WELCOME handshake.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	cfg := config{class: mmdb.Batch}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, cfg: cfg}
+	err = wire.WriteFrame(conn, wire.THello, wire.EncodeHello(wire.Hello{
+		Version:  wire.Version,
+		Class:    byte(cfg.class),
+		MinPages: cfg.minPages,
+	}))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch typ {
+	case wire.TWelcome:
+		w, err := wire.DecodeWelcome(payload)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.server = w.Server
+		return c, nil
+	case wire.TError:
+		e, derr := wire.DecodeError(payload)
+		conn.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, &ServerError{Code: e.Code, Msg: e.Msg}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("sqlclient: unexpected handshake frame 0x%02X", typ)
+	}
+}
+
+// Server returns the server name announced in WELCOME.
+func (c *Client) Server() string { return c.server }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Ping round-trips a PING frame.
+func (c *Client) Ping() error {
+	if err := wire.WriteFrame(c.conn, wire.TPing, nil); err != nil {
+		return err
+	}
+	typ, _, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if typ != wire.TPong {
+		return fmt.Errorf("sqlclient: expected PONG, got frame 0x%02X", typ)
+	}
+	return nil
+}
+
+// Query runs one statement under the connection's default class.
+func (c *Client) Query(sql string) (*Result, error) {
+	return c.query(wire.Query{Class: wire.ClassDefault, SQL: sql})
+}
+
+// QueryClass runs one statement under an explicit class and minimum
+// memory grant (0 = connection default), the wire path for the
+// engine's WithClass/WithMinPages session options.
+func (c *Client) QueryClass(sql string, class mmdb.QueryClass, minPages int) (*Result, error) {
+	return c.query(wire.Query{Class: byte(class), MinPages: uint32(minPages), SQL: sql})
+}
+
+func (c *Client) query(q wire.Query) (*Result, error) {
+	if err := wire.WriteFrame(c.conn, wire.TQuery, wire.EncodeQuery(q)); err != nil {
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.TError:
+		e, derr := wire.DecodeError(payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, &ServerError{Code: e.Code, Msg: e.Msg}
+	case wire.TOverload:
+		o, derr := wire.DecodeOverload(payload)
+		if derr != nil {
+			return nil, derr
+		}
+		// Rebuild the engine's typed error so errors.Is/As behave as if
+		// the scheduler had shed the caller in-process.
+		return nil, &mmdb.OverloadError{Class: mmdb.QueryClass(o.Class), Depth: int(o.Depth)}
+	case wire.TResult:
+	default:
+		return nil, fmt.Errorf("sqlclient: unexpected frame 0x%02X", typ)
+	}
+	wres, err := wire.DecodeResult(payload)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := wres.Schema()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Affected: wres.Affected, Server: c.server}
+	for _, f := range wres.Fields {
+		res.Cols = append(res.Cols, Col{Name: f.Name, Kind: f.Kind, Size: int(f.Size)})
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case wire.TRows:
+			rows, err := wire.DecodeRows(payload, schema)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range rows {
+				res.Rows = append(res.Rows, schema.Decode(t))
+			}
+		case wire.TDone:
+			d, err := wire.DecodeDone(payload)
+			if err != nil {
+				return nil, err
+			}
+			if int(d.RowCount) != len(res.Rows) {
+				return nil, fmt.Errorf("sqlclient: DONE reports %d rows, received %d", d.RowCount, len(res.Rows))
+			}
+			res.Counters = mmdb.Counters{
+				Comps: d.Counters[0], Hashes: d.Counters[1], Moves: d.Counters[2],
+				Swaps: d.Counters[3], SeqIOs: d.Counters[4], RandIOs: d.Counters[5],
+			}
+			res.Elapsed = time.Duration(d.ElapsedNS)
+			res.Queued = time.Duration(d.QueuedNS)
+			return res, nil
+		default:
+			return nil, fmt.Errorf("sqlclient: unexpected frame 0x%02X mid-response", typ)
+		}
+	}
+}
