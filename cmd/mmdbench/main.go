@@ -106,6 +106,19 @@ func main() {
 			return err
 		}
 		res.Print(os.Stdout)
+		fmt.Println()
+		scale, err := experiments.RunRecoveryScale(experiments.DefaultRecoveryScaleConfig())
+		if err != nil {
+			return err
+		}
+		scale.Print(os.Stdout)
+		if err := scale.WriteJSON("BENCH_recovery.json"); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_recovery.json")
+		if !scale.AllHold {
+			return fmt.Errorf("recovery scale ladder failed: cross-width counter drift or a flatness/growth bar missed (see BENCH_recovery.json)")
+		}
 		return nil
 	})
 	run("checkpoint", func() error {

@@ -57,6 +57,11 @@ type Checkpointer struct {
 
 	// PagesWritten counts completed checkpoint page writes.
 	PagesWritten int64
+
+	// OnAdvance, when set, fires after each completed page write — the
+	// recovery start point may have advanced, so the engine can republish
+	// the segmented log's commit.meta horizon.
+	OnAdvance func()
 }
 
 // New creates a checkpointer writing page images of st to disk. The WAL
@@ -176,6 +181,9 @@ func (c *Checkpointer) writeWhenDurable(pick int, img []byte, last wal.LSN) {
 		delete(c.pending, pick)
 		c.PagesWritten++
 		c.writing = false
+		if c.OnAdvance != nil {
+			c.OnAdvance()
+		}
 		c.Kick()
 	})
 }

@@ -109,6 +109,7 @@ type ChaosQueryLeg struct {
 type ChaosResult struct {
 	Config    ChaosConfig     `json:"config"`
 	Crash     []ChaosCrashRow `json:"crash_grid"`
+	Segments  []ChaosSegRow   `json:"segment_grid"`
 	Transient ChaosQueryLeg   `json:"transient_leg"`
 	Revoked   ChaosQueryLeg   `json:"revocation_leg"`
 	// TotalUndone aggregates loser undo across the grid; the grid is only
@@ -370,7 +371,16 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if res.TotalUndone == 0 {
 		res.AllHold = false // the grid never exercised loser undo
 	}
-	var err error
+	segRows, err := runChaosSegGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Segments = segRows
+	for _, row := range segRows {
+		if !row.WindowFound || !row.AckedDurable || !row.SkipEqualsFull || row.Committed == 0 {
+			res.AllHold = false
+		}
+	}
 	if res.Transient, err = runChaosTransient(cfg); err != nil {
 		return nil, err
 	}
@@ -395,6 +405,15 @@ func (r *ChaosResult) Print(w io.Writer) {
 		fmt.Fprintf(w, "  %5d %9s %10d %7d %7d %7d %6d %6d %7v %7v\n",
 			row.Seed, row.CrashAt, row.Committed, row.Losers, row.Redone, row.Undone,
 			row.TornWrites, row.LostPages, row.AckedDurable, row.PrefixEqual)
+	}
+	fmt.Fprintf(w, "\n  segment grid: crashes aimed mid-rotation, mid-commit.meta rewrite, mid-compaction\n")
+	fmt.Fprintf(w, "  %5s %11s %9s %10s %6s %7s %7s %9s %7s %6s\n",
+		"seed", "target", "crash", "committed", "acked", "scanned", "skipped", "compacted", "acked⊆C", "skip=")
+	for _, row := range r.Segments {
+		fmt.Fprintf(w, "  %5d %11s %9s %10d %6d %7d %7d %9d %7v %6v\n",
+			row.Seed, row.Target, row.CrashAt, row.Committed, row.AckedAtCrash,
+			row.SegmentsScanned, row.SegmentsSkipped, row.CompactedBytes,
+			row.AckedDurable, row.SkipEqualsFull)
 	}
 	fmt.Fprintf(w, "\n  transient leg (%s): %d matches, burst of %d absorbed by %d retries, identical=%v\n",
 		r.Transient.Algorithm, r.Transient.Matches, r.Transient.TransientInjected,

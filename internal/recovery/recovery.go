@@ -13,7 +13,9 @@ package recovery
 
 import (
 	"fmt"
+	"time"
 
+	"mmdb/internal/cost"
 	"mmdb/internal/store"
 	"mmdb/internal/wal"
 )
@@ -49,6 +51,15 @@ type Info struct {
 	Undone      int                // loser updates rolled back
 	LogScanned  int                // total log records examined
 	SnapshotPgs int                // snapshot pages installed
+
+	// Segmented-replay telemetry (RecoverSegmented only; zero for the
+	// serial monolithic path).
+	SegmentsScanned int           // segment files read and decoded
+	SegmentsSkipped int           // segments skipped entirely below the commit.meta horizon
+	ReplayWorkers   int           // exec pool width used for scan and redo fan-out
+	CompactedBytes  int64         // bytes reclaimed by §5.6 compaction, as seen at the crash
+	Counters        cost.Counters // virtual work of the replay itself
+	Virtual         time.Duration // virtual recovery time (bit-identical at every width)
 }
 
 // resolved reports whether txn needs no undo: it either committed or

@@ -1,0 +1,131 @@
+package seglog
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"time"
+)
+
+// CommitPos is the persisted durable position of one log device: the
+// highest {segment, offset} whose page write has completed, the last LSN
+// on that page, and the engine's truncation horizon at publish time.
+// Recovery may skip any segment whose records all fall below Horizon —
+// the horizon is the min over the durable LSN, the checkpoint recovery
+// start point, and the first LSN of every unresolved transaction, so
+// everything below it is already reflected in the checkpoint snapshot
+// and belongs to resolved transactions.
+type CommitPos struct {
+	Epoch   uint64 // monotone write counter (dual-slot arbitration)
+	Seg     uint64 // segment index of the durable frontier
+	Off     uint64 // pages durable within that segment
+	Durable uint64 // last LSN on the durable frontier page
+	Horizon uint64 // safe replay horizon at publish time
+}
+
+// commitPosSize is the on-medium size of an encoded CommitPos: five
+// 8-byte fields plus a CRC32 trailer.
+const commitPosSize = 5*8 + 4
+
+// EncodeCommitPos frames the position with a CRC32 trailer so a torn
+// commit.meta slot write is detectable.
+func EncodeCommitPos(p CommitPos) []byte {
+	buf := make([]byte, commitPosSize)
+	binary.BigEndian.PutUint64(buf[0:], p.Epoch)
+	binary.BigEndian.PutUint64(buf[8:], p.Seg)
+	binary.BigEndian.PutUint64(buf[16:], p.Off)
+	binary.BigEndian.PutUint64(buf[24:], p.Durable)
+	binary.BigEndian.PutUint64(buf[32:], p.Horizon)
+	binary.BigEndian.PutUint32(buf[40:], crc32.ChecksumIEEE(buf[:40]))
+	return buf
+}
+
+// DecodeCommitPos validates the CRC frame and returns the position.
+// A short or corrupt image (a torn slot write) reports ok=false.
+func DecodeCommitPos(buf []byte) (CommitPos, bool) {
+	if len(buf) < commitPosSize {
+		return CommitPos{}, false
+	}
+	if crc32.ChecksumIEEE(buf[:40]) != binary.BigEndian.Uint32(buf[40:]) {
+		return CommitPos{}, false
+	}
+	return CommitPos{
+		Epoch:   binary.BigEndian.Uint64(buf[0:]),
+		Seg:     binary.BigEndian.Uint64(buf[8:]),
+		Off:     binary.BigEndian.Uint64(buf[16:]),
+		Durable: binary.BigEndian.Uint64(buf[24:]),
+		Horizon: binary.BigEndian.Uint64(buf[32:]),
+	}, true
+}
+
+// metaSlot is one of the two ping-pong commit.meta slots. A slot is
+// rewritten in place; because writes alternate slots, at most one slot is
+// ever mid-write, and the other still holds a valid (older-epoch)
+// position. The reader arbitrates by CRC validity then highest epoch.
+type metaSlot struct {
+	img     []byte
+	start   time.Duration
+	done    time.Duration
+	written bool
+}
+
+// metaState tracks the dual-slot commit.meta file of one device.
+type metaState struct {
+	slots     [2]metaSlot
+	epoch     uint64
+	last      CommitPos // last content issued (dedup)
+	haveLast  bool
+	busyUntil time.Duration
+	windows   []Window
+	writes    int64
+}
+
+// publish issues a meta slot rewrite for pos if it differs from the last
+// issued content. Writes are serviced serially on the device's meta lane.
+func (m *metaState) publish(now time.Duration, pos CommitPos, writeTime time.Duration) {
+	if m.haveLast && pos.Seg == m.last.Seg && pos.Off == m.last.Off &&
+		pos.Durable == m.last.Durable && pos.Horizon == m.last.Horizon {
+		return
+	}
+	m.epoch++
+	pos.Epoch = m.epoch
+	m.last, m.haveLast = pos, true
+	start := now
+	if m.busyUntil > start {
+		start = m.busyUntil
+	}
+	done := start + writeTime
+	m.busyUntil = done
+	m.slots[m.epoch%2] = metaSlot{img: EncodeCommitPos(pos), start: start, done: done, written: true}
+	m.windows = append(m.windows, Window{Start: start, Done: done})
+	m.writes++
+}
+
+// durable arbitrates the two slots as seen by a crash at time t: a slot
+// whose write completed contributes its full image; a slot mid-write at t
+// contributes only the written prefix (which fails the CRC). The valid
+// candidate with the highest epoch wins. ok=false means no valid slot —
+// the device never published, and recovery must scan from the start.
+func (m *metaState) durable(t time.Duration) (CommitPos, bool) {
+	var best CommitPos
+	found := false
+	for _, s := range m.slots {
+		if !s.written || s.start >= t {
+			continue
+		}
+		img := s.img
+		if s.done > t {
+			// Torn slot rewrite: only a prefix proportional to the write's
+			// progress reached the medium.
+			frac := float64(t-s.start) / float64(s.done-s.start)
+			img = img[:int(frac*float64(len(img)))]
+		}
+		pos, ok := DecodeCommitPos(img)
+		if !ok {
+			continue
+		}
+		if !found || pos.Epoch > best.Epoch {
+			best, found = pos, true
+		}
+	}
+	return best, found
+}

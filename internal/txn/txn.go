@@ -41,6 +41,11 @@ type Config struct {
 	// record of any unresolved transaction). Effective only with
 	// checkpointing, which is what advances the redo bound (§5.5).
 	TruncateLog bool
+	// TruncateEvery is the commit cadence of truncation attempts.
+	// 0 means 64; small values tighten how much reclaimable log can pile
+	// up between attempts (the recovery-scale ladder uses this to keep
+	// the scanned window near-constant).
+	TruncateEvery int
 
 	// Read-only terminals exercise the paper's §6 conjecture that "a
 	// versioning mechanism [REED83] may provide superior performance for
@@ -77,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadCPU == 0 {
 		c.ReadCPU = 200 * time.Microsecond
+	}
+	if c.TruncateEvery == 0 {
+		c.TruncateEvery = 64
 	}
 	return c
 }
@@ -198,7 +206,30 @@ func New(sim *event.Sim, cfg Config) (*Engine, error) {
 	e.ckpt.InitialSnapshot()
 	l.SetOnCommit(e.onDurableCommit)
 	l.SetOnDrain(e.wakeStalled)
+	l.SetBoundsFunc(e.logBounds)
+	// A completed checkpoint page write can advance the replay horizon;
+	// push the new bound into every segmented device's commit.meta.
+	e.ckpt.OnAdvance = l.PublishMeta
 	return e, nil
+}
+
+// logBounds supplies the log's two safety bounds (§5.5). compactable is
+// the durably-resolved floor: min over the durable LSN+1 and the first
+// record of every transaction whose outcome is not yet durable — below
+// it the §5.6 compactor may strip pre-images. horizon additionally stays
+// below the stable first-update table's oldest entry, so everything
+// beneath it is reflected in the checkpoint snapshot: the truncation
+// point, and what commit.meta publishes for recovery to skip segments by.
+func (e *Engine) logBounds() (horizon, compactable wal.LSN) {
+	compactable = e.log.DurableLSN() + 1
+	if first, ok := e.log.UnresolvedFloor(); ok && first < compactable {
+		compactable = first
+	}
+	horizon = compactable
+	if start, ok := e.ckpt.RecoveryStartLSN(); ok && start < horizon {
+		horizon = start
+	}
+	return horizon, compactable
 }
 
 // Store exposes the live database (for verification in tests).
@@ -461,7 +492,7 @@ func (e *Engine) onDurableCommit(id wal.TxnID) {
 	e.locks.Finish(id)
 	e.acked[id] = e.sim.Now()
 	e.stats.Committed++
-	if e.cfg.TruncateLog && e.stats.Committed%64 == 0 {
+	if e.cfg.TruncateLog && e.stats.Committed%int64(e.cfg.TruncateEvery) == 0 {
 		e.maybeTruncateLog()
 	}
 	term := s.terminal
@@ -469,20 +500,14 @@ func (e *Engine) onDurableCommit(id wal.TxnID) {
 }
 
 // maybeTruncateLog advances the log truncation horizon to the highest LSN
-// below which no recovery could need a record: the redo bound from the
-// stable first-update table and the undo bound from unresolved
-// transactions' first records.
+// below which no recovery could need a record. The undo bound comes from
+// the log's own unresolved floor rather than the engine's in-flight set:
+// an aborting transaction leaves that set when its End record is appended,
+// before the End is durable, and truncating its updates in that window
+// would leave recovery a loser it cannot undo.
 func (e *Engine) maybeTruncateLog() {
-	bound := e.log.DurableLSN() + 1
-	if start, ok := e.ckpt.RecoveryStartLSN(); ok && start < bound {
-		bound = start
-	}
-	for _, s := range e.states {
-		if s.firstLSN > 0 && s.firstLSN < bound {
-			bound = s.firstLSN
-		}
-	}
-	e.log.TruncateBefore(bound)
+	horizon, _ := e.logBounds()
+	e.log.TruncateBefore(horizon)
 }
 
 // AckedBy returns the transactions whose commit was acknowledged to their
@@ -523,6 +548,38 @@ func (e *Engine) CrashInput() (recovery.Input, error) {
 		StartLSN:       start,
 		HaveStart:      have,
 	}, nil
+}
+
+// CrashInputSegmented captures the crash-durable state of a segmented-log
+// engine: each device's surviving segment files and commit.meta position,
+// the checkpoint snapshot, and the redo bound — the input to
+// recovery.RecoverSegmented. It fails when the log is not segmented
+// (Config.Log.SegmentPages == 0).
+func (e *Engine) CrashInputSegmented() (recovery.SegInput, error) {
+	now := e.sim.Now()
+	in := recovery.SegInput{
+		NumRecords:     e.cfg.Accounts,
+		RecSize:        e.cfg.RecSize,
+		RecordsPerPage: e.cfg.RecordsPerPage,
+		PageSize:       e.log.Config().PageSize,
+	}
+	for _, d := range e.log.Config().Devices {
+		v, ok := d.DurableSegments(now)
+		if !ok {
+			return recovery.SegInput{}, fmt.Errorf("txn: device %s is not segmented (set Log.SegmentPages)", d.Name)
+		}
+		in.Devices = append(in.Devices, recovery.DeviceLogFromView(v))
+	}
+	if e.log.Config().Policy == wal.StableMemory {
+		in.StableTail = e.log.StableRecords()
+	}
+	in.StartLSN, in.HaveStart = e.ckpt.RecoveryStartLSN()
+	pages := make(map[int][]byte, e.snap.Len())
+	for p, img := range e.snap.Pages() {
+		pages[p] = append([]byte(nil), img...)
+	}
+	in.SnapshotPages = pages
+	return in, nil
 }
 
 func sortAccounts(a []uint64) {

@@ -2,6 +2,8 @@ package wal
 
 import (
 	"time"
+
+	"mmdb/internal/seglog"
 )
 
 // DefaultWriteRetries bounds the in-device retries for injected transient
@@ -63,6 +65,10 @@ type Device struct {
 	pages     []devicePage
 	failed    bool
 	retried   int64
+
+	// dir, when non-nil, arranges this device's page writes into bounded
+	// segment files with a persisted commit.meta (see internal/seglog).
+	dir *seglog.Dir
 }
 
 type devicePage struct {
@@ -78,6 +84,31 @@ func NewDevice(name string, writeTime time.Duration) *Device {
 	return &Device{Name: name, WriteTime: writeTime}
 }
 
+// EnableSegments arranges the device's page writes into bounded segments
+// of segmentPages pages each, with a dual-slot CRC-framed commit.meta.
+// Each device owns its own "<name>/..." namespace, so fragment merge can
+// never interleave segment files across devices even when one device name
+// prefixes another (log1 vs log10). Idempotent; returns the directory.
+func (d *Device) EnableSegments(segmentPages int) *seglog.Dir {
+	if d.dir == nil {
+		d.dir = seglog.NewDir(d.Name, segmentPages, d.WriteTime)
+	}
+	return d.dir
+}
+
+// SegmentDir returns the device's segment directory, or nil when the
+// device is an unsegmented monolithic log.
+func (d *Device) SegmentDir() *seglog.Dir { return d.dir }
+
+// DurableSegments returns the crash view of the device's segment
+// directory at time t. ok is false for unsegmented devices.
+func (d *Device) DurableSegments(t time.Duration) (seglog.View, bool) {
+	if d.dir == nil {
+		return seglog.View{}, false
+	}
+	return d.dir.DurableView(t, d.ExposeTorn), true
+}
+
 // Write queues a page image. The write starts no earlier than `earliest`
 // (used to honor commit-group topological ordering) and no earlier than the
 // completion of the device's previous write. It returns the completion time
@@ -85,9 +116,24 @@ func NewDevice(name string, writeTime time.Duration) *Device {
 // permanently failed or the write was torn — the page never becomes
 // durable and the caller must not count on its completion.
 func (d *Device) Write(earliest time.Duration, img []byte) (time.Duration, bool) {
+	return d.WriteTagged(earliest, img, 0, 0)
+}
+
+// WriteTagged is Write carrying the LSN range of the records the page
+// holds; a segment-aware device records the tags in its segment directory
+// so truncation and the recovery horizon can reason about whole segment
+// files without decoding them. Untagged callers (checkpoint data pages)
+// pass zeros.
+func (d *Device) WriteTagged(earliest time.Duration, img []byte, firstLSN, lastLSN LSN) (time.Duration, bool) {
 	start := earliest
 	if d.busyUntil > start {
 		start = d.busyUntil
+	}
+	record := func(p devicePage) {
+		d.pages = append(d.pages, p)
+		if d.dir != nil {
+			d.dir.Append(p.img, uint64(firstLSN), uint64(lastLSN), p.start, p.done, p.torn, p.lost)
+		}
 	}
 	var wf WriteFault
 	if d.Injector != nil {
@@ -97,7 +143,7 @@ func (d *Device) Write(earliest time.Duration, img []byte) (time.Duration, bool)
 		d.failed = true
 	}
 	if d.failed {
-		d.pages = append(d.pages, devicePage{img: img, start: start, lost: true})
+		record(devicePage{img: img, start: start, lost: true})
 		return 0, false
 	}
 	retries := d.MaxRetries
@@ -121,7 +167,7 @@ func (d *Device) Write(earliest time.Duration, img []byte) (time.Duration, bool)
 		if wf.Transient > retries {
 			// Retry budget exhausted: the device is failing hard.
 			d.failed = true
-			d.pages = append(d.pages, devicePage{img: img, start: start, lost: true})
+			record(devicePage{img: img, start: start, lost: true})
 			return 0, false
 		}
 	}
@@ -138,11 +184,11 @@ func (d *Device) Write(earliest time.Duration, img []byte) (time.Duration, bool)
 		// dead from here on.
 		d.busyUntil = done
 		d.failed = true
-		d.pages = append(d.pages, devicePage{img: img, start: start, done: done, torn: tb, lost: true})
+		record(devicePage{img: img, start: start, done: done, torn: tb, lost: true})
 		return 0, false
 	}
 	d.busyUntil = done
-	d.pages = append(d.pages, devicePage{img: img, start: start, done: done})
+	record(devicePage{img: img, start: start, done: done})
 	return done, true
 }
 

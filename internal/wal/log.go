@@ -59,6 +59,21 @@ type Config struct {
 	// is idle (so liveness never depends on this timer); the timeout only
 	// tightens latency further at the cost of smaller groups.
 	GroupTimeout time.Duration
+	// SegmentPages, when positive, arranges every log device's pages into
+	// bounded segment files of that many pages ("<dev>/seg-NNNNNN") with a
+	// persisted dual-slot commit.meta recording the durable
+	// {segment, offset, LSN} horizon. Checkpoint truncation then deletes
+	// whole segments, and recovery can skip segments entirely below the
+	// published horizon.
+	SegmentPages int
+	// CompactSegments enables the §5.6 background compactor: cold
+	// segments (every record below the resolved-transaction bound) are
+	// rewritten keeping only the newest update per record slot of
+	// durably resolved transactions, with pre-images stripped. Requires
+	// SegmentPages.
+	CompactSegments bool
+	// CompactEvery is the compactor's wake-up period; 0 means 100ms.
+	CompactEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StableCapacity == 0 {
 		c.StableCapacity = 8 * c.PageSize
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 100 * time.Millisecond
 	}
 	return c
 }
@@ -147,6 +165,24 @@ type Log struct {
 	onCommit     func(TxnID)
 	onDrain      func()
 	stats        Stats
+
+	// bounds, when set by the engine, supplies (horizon, compactable):
+	// horizon is the safe truncation/replay bound (min over durable LSN+1,
+	// the checkpoint recovery start, and unresolved first-LSNs);
+	// compactable is the resolved-transaction bound (min over durable
+	// LSN+1 and unresolved first-LSNs) below which segments are cold.
+	bounds func() (horizon, compactable LSN)
+	// resolved records transactions whose outcome (commit or rollback
+	// End) is durable — the compactor may strip their pre-images.
+	resolved map[TxnID]bool
+	// unresolvedFirst maps each transaction whose outcome is not yet
+	// durable to its first record's LSN. The minimum over it is the floor
+	// that truncation, the published horizon and segment compaction must
+	// all stay below; the engine's own in-flight set is not enough, because
+	// an aborting transaction leaves it when its End record is appended,
+	// before that record is durable.
+	unresolvedFirst map[TxnID]LSN
+	compactorIdle   bool // a compact tick is not currently scheduled
 }
 
 // NewLog creates a log manager on the simulator.
@@ -161,6 +197,9 @@ func NewLog(sim *event.Sim, cfg Config) (*Log, error) {
 	if cfg.Compress && cfg.Policy != StableMemory {
 		return nil, fmt.Errorf("wal: log compression requires the stable-memory policy")
 	}
+	if cfg.CompactSegments && cfg.SegmentPages <= 0 {
+		return nil, fmt.Errorf("wal: segment compaction requires SegmentPages > 0")
+	}
 	l := &Log{
 		sim:             sim,
 		cfg:             cfg,
@@ -168,8 +207,14 @@ func NewLog(sim *event.Sim, cfg Config) (*Log, error) {
 		inBuffer:        make(map[TxnID]*fragment),
 		txnPages:        make(map[TxnID][]*pendingPage),
 		stableCommitted: make(map[TxnID]bool),
+		resolved:        make(map[TxnID]bool),
+		unresolvedFirst: make(map[TxnID]LSN),
+		compactorIdle:   true,
 	}
 	for _, d := range cfg.Devices {
+		if cfg.SegmentPages > 0 {
+			d.EnableSegments(cfg.SegmentPages)
+		}
 		l.frags = append(l.frags, &fragment{dev: d, curDeps: make(map[*pendingPage]struct{})})
 	}
 	return l, nil
@@ -186,6 +231,46 @@ func (l *Log) SetOnCommit(fn func(TxnID)) { l.onCommit = fn }
 
 // SetOnDrain installs a callback fired when stable-memory space frees up.
 func (l *Log) SetOnDrain(fn func()) { l.onDrain = fn }
+
+// SetBoundsFunc installs the engine's safety-bound oracle for segmented
+// logs: horizon is the safe truncation/replay bound published to
+// commit.meta, compactable the resolved-transaction bound gating the
+// §5.6 compactor. Without it the horizon defaults to the truncation
+// point and the compactor stays idle.
+func (l *Log) SetBoundsFunc(fn func() (horizon, compactable LSN)) { l.bounds = fn }
+
+// boundsNow resolves the current (horizon, compactable) pair.
+func (l *Log) boundsNow() (LSN, LSN) {
+	if l.bounds != nil {
+		return l.bounds()
+	}
+	return l.truncateLSN, 0
+}
+
+// publishMeta pushes the durable frontier and horizon of every segmented
+// device into its commit.meta. Called on durability events and after
+// truncation; the directory dedups identical content.
+func (l *Log) publishMeta() {
+	horizon, _ := l.boundsNow()
+	now := l.sim.Now()
+	for _, f := range l.frags {
+		if dir := f.dev.SegmentDir(); dir != nil {
+			dir.Publish(now, uint64(horizon))
+		}
+	}
+}
+
+// CompactedBytes returns the bytes reclaimed by completed segment
+// compactions across all devices.
+func (l *Log) CompactedBytes() int64 {
+	var n int64
+	for _, f := range l.frags {
+		if dir := f.dev.SegmentDir(); dir != nil {
+			n += dir.Stats().CompactedBytes
+		}
+	}
+	return n
+}
 
 // payloadCapacity is the record bytes one page holds.
 func (l *Log) payloadCapacity() int { return l.cfg.PageSize - pageHeader }
@@ -205,8 +290,13 @@ func (l *Log) Append(r Record) (LSN, bool) {
 			l.nextLSN-- // the record was not accepted; reuse the LSN
 			return 0, false
 		}
+		l.noteTxn(r.Txn, r.LSN)
+		if r.Type == End {
+			l.markResolved(r.Txn) // stable memory is durable by assumption
+		}
 		return r.LSN, true
 	}
+	l.noteTxn(r.Txn, r.LSN)
 	l.bufferAppend(l.fragFor(r.Txn), r)
 	return r.LSN, true
 }
@@ -223,9 +313,11 @@ func (l *Log) AppendCommit(txn TxnID, deps []TxnID) bool {
 			return false
 		}
 		l.stableCommitted[txn] = true
+		l.markResolved(txn) // stable memory is durable by assumption
 		l.deliverCommit(txn)
 		return true
 	}
+	l.noteTxn(txn, r.LSN)
 	f := l.fragFor(txn)
 	for _, dep := range deps {
 		if df, open := l.inBuffer[dep]; open {
@@ -383,7 +475,7 @@ func (l *Log) seal(f *fragment) {
 		return
 	}
 	var ok bool
-	p.done, ok = f.dev.Write(earliest, img)
+	p.done, ok = f.dev.WriteTagged(earliest, img, p.records[0].LSN, p.records[len(p.records)-1].LSN)
 	l.pages = append(l.pages, p)
 	l.stats.PagesWritten++
 	for _, r := range p.records {
@@ -406,15 +498,58 @@ func (l *Log) seal(f *fragment) {
 		for _, t := range p.commits {
 			delete(l.txnGroup, t)
 			delete(l.txnPages, t)
+			l.markResolved(t)
 			l.deliverCommit(t)
 		}
 		for _, r := range p.records {
 			if r.Type == End {
 				delete(l.txnPages, r.Txn) // rollback complete; nothing depends on it anymore
+				l.markResolved(r.Txn)
 			}
 		}
+		l.publishMeta()
+		l.kickCompactor()
 	})
 }
+
+// noteTxn records txn's first log record so UnresolvedFloor can bound
+// truncation and the published horizon until txn's outcome is durable.
+func (l *Log) noteTxn(txn TxnID, lsn LSN) {
+	if txn == 0 || l.resolved[txn] {
+		return
+	}
+	if _, ok := l.unresolvedFirst[txn]; !ok {
+		l.unresolvedFirst[txn] = lsn
+	}
+}
+
+// markResolved records that txn's outcome (commit, or rollback End) is
+// durable: its pre-images may be compacted away and it no longer floors
+// truncation.
+func (l *Log) markResolved(txn TxnID) {
+	l.resolved[txn] = true
+	delete(l.unresolvedFirst, txn)
+}
+
+// UnresolvedFloor returns the smallest first-record LSN among transactions
+// whose outcome is not yet durable; ok=false when every logged transaction
+// has durably resolved.
+func (l *Log) UnresolvedFloor() (LSN, bool) {
+	var min LSN
+	found := false
+	for _, lsn := range l.unresolvedFirst {
+		if !found || lsn < min {
+			min, found = lsn, true
+		}
+	}
+	return min, found
+}
+
+// PublishMeta re-publishes the durable position and the engine's current
+// horizon to every segmented device's commit.meta. The engine calls it
+// when the checkpointer advances the recovery start point; durability
+// events publish automatically.
+func (l *Log) PublishMeta() { l.publishMeta() }
 
 func (l *Log) deliverCommit(txn TxnID) {
 	l.stats.Commits++
@@ -504,7 +639,7 @@ func (l *Log) startDrain() {
 
 	dev := l.cfg.Devices[l.nextDrainDev]
 	l.nextDrainDev = (l.nextDrainDev + 1) % len(l.cfg.Devices)
-	done, ok := dev.Write(l.sim.Now(), img)
+	done, ok := dev.WriteTagged(l.sim.Now(), img, page[0].LSN, page[len(page)-1].LSN)
 	p := &pendingPage{seq: l.pageSeq, records: page, done: done}
 	l.pageSeq++
 	l.pages = append(l.pages, p)
@@ -524,6 +659,8 @@ func (l *Log) startDrain() {
 		l.draining = false
 		l.stable = append([]Record(nil), l.stable[n:]...)
 		l.stableBytes -= freed
+		l.publishMeta()
+		l.kickCompactor()
 		if l.onDrain != nil {
 			l.onDrain()
 		}
@@ -557,6 +694,16 @@ func (l *Log) TruncateBefore(lsn LSN) {
 	}
 	l.pages = keep
 	l.firstPending = 0
+	// On segmented devices truncation is physical: whole segment files
+	// wholly below the horizon are deleted, and the new horizon is
+	// published to commit.meta.
+	now := l.sim.Now()
+	for _, f := range l.frags {
+		if dir := f.dev.SegmentDir(); dir != nil {
+			dir.DeleteBelow(now, uint64(lsn))
+		}
+	}
+	l.publishMeta()
 }
 
 // TruncatedLSN returns the current truncation horizon.
@@ -583,13 +730,29 @@ func (l *Log) DurableRecords(t time.Duration) ([]Record, error) {
 	var fragments [][]Record
 	for _, d := range l.cfg.Devices {
 		var frag []Record
-		for _, img := range d.DurablePages(t) {
-			recs, intact := DecodePageTail(img)
-			frag = append(frag, recs...)
-			if !intact {
-				// Torn tail: everything after the damage is unreadable,
-				// and nothing later on this device can be durable (FIFO).
-				break
+		if v, segmented := d.DurableSegments(t); segmented {
+			// Segmented device: the segment directory is the medium of
+			// record — it reflects truncation-by-deletion and compaction,
+			// which the raw page list does not.
+		segs:
+			for _, s := range v.Segments {
+				for _, img := range s.Pages {
+					recs, intact := DecodePageTail(img)
+					frag = append(frag, recs...)
+					if !intact {
+						break segs
+					}
+				}
+			}
+		} else {
+			for _, img := range d.DurablePages(t) {
+				recs, intact := DecodePageTail(img)
+				frag = append(frag, recs...)
+				if !intact {
+					// Torn tail: everything after the damage is unreadable,
+					// and nothing later on this device can be durable (FIFO).
+					break
+				}
 			}
 		}
 		fragments = append(fragments, frag)

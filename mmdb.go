@@ -278,6 +278,7 @@ type Database struct {
 	broker *session.Broker
 	locks  *session.LockTable
 	sorts  sortActivity
+	replay replayActivity
 }
 
 // sortActivity accumulates relation-sort telemetry across sessions (the
@@ -296,6 +297,31 @@ func (a *sortActivity) record(runs, mergePasses int, inMemory bool) {
 	if inMemory {
 		a.inMemory.Add(1)
 	}
+}
+
+// replayActivity accumulates crash-recovery telemetry across observed
+// recoveries (the SessionMetrics Recovery* fields).
+type replayActivity struct {
+	recoveries     atomic.Uint64
+	segsScanned    atomic.Uint64
+	segsSkipped    atomic.Uint64
+	workers        atomic.Uint64 // width of the most recent replay
+	compactedBytes atomic.Int64
+	virtualNanos   atomic.Int64
+}
+
+// ObserveRecovery folds a crash-recovery report into the database's
+// session metrics, so operators watching SessionMetrics see replay
+// effort — segments scanned versus skipped, the fan-out width, bytes
+// reclaimed by log compaction, and virtual replay time — alongside query
+// activity.
+func (db *Database) ObserveRecovery(info RecoveryInfo) {
+	db.replay.recoveries.Add(1)
+	db.replay.segsScanned.Add(uint64(info.SegmentsScanned))
+	db.replay.segsSkipped.Add(uint64(info.SegmentsSkipped))
+	db.replay.workers.Store(uint64(info.ReplayWorkers))
+	db.replay.compactedBytes.Add(info.CompactedBytes)
+	db.replay.virtualNanos.Add(int64(info.Virtual))
 }
 
 // Open creates an empty database.
@@ -481,6 +507,17 @@ type SessionMetrics struct {
 	SortRuns        uint64
 	SortMergePasses uint64
 	SortsInMemory   uint64
+
+	// Crash-replay telemetry folded in via ObserveRecovery: recoveries
+	// observed, segment files scanned versus skipped below the commit.meta
+	// horizon, the most recent replay's fan-out width, bytes reclaimed by
+	// §5.6 log compaction, and total virtual replay time.
+	Recoveries              uint64
+	RecoverySegmentsScanned uint64
+	RecoverySegmentsSkipped uint64
+	RecoveryReplayWorkers   int
+	RecoveryCompactedBytes  int64
+	RecoveryVirtual         time.Duration
 }
 
 // SessionMetrics returns a snapshot of scheduler and broker activity.
@@ -506,6 +543,13 @@ func (db *Database) SessionMetrics() SessionMetrics {
 		SortRuns:        db.sorts.runs.Load(),
 		SortMergePasses: db.sorts.mergePasses.Load(),
 		SortsInMemory:   db.sorts.inMemory.Load(),
+
+		Recoveries:              db.replay.recoveries.Load(),
+		RecoverySegmentsScanned: db.replay.segsScanned.Load(),
+		RecoverySegmentsSkipped: db.replay.segsSkipped.Load(),
+		RecoveryReplayWorkers:   int(db.replay.workers.Load()),
+		RecoveryCompactedBytes:  db.replay.compactedBytes.Load(),
+		RecoveryVirtual:         time.Duration(db.replay.virtualNanos.Load()),
 	}
 	for c := range sm.PerClass {
 		pc := m.PerClass[c]

@@ -66,6 +66,25 @@ type RecoveryConfig struct {
 	// partial page). Off, a torn page vanishes entirely. Either way the
 	// per-record checksums make recovery stop cleanly at the tear.
 	TornTails bool
+	// SegmentPages, when positive, bounds the log into segment files of
+	// that many pages per device ("log0/seg-000001", ...) with a persisted
+	// dual-slot commit.meta recording the durable {segment, offset, LSN}
+	// horizon. Crash recovery then runs the segmented parallel path:
+	// segments wholly below the horizon are skipped unread, and the scan
+	// and page-partitioned replay fan out over ReplayParallelism workers.
+	SegmentPages int
+	// CompactSegments runs the §5.6 background log compressor: cold
+	// segments are rewritten keeping only the newest committed value per
+	// record with pre-images stripped. Requires SegmentPages.
+	CompactSegments bool
+	// TruncateLog reclaims the log prefix no recovery could need; on a
+	// segmented log this deletes whole segment files. Effective with
+	// Checkpoint, which advances the redo bound (§5.5).
+	TruncateLog bool
+	// ReplayParallelism is the recovery fan-out width (0 = serial,
+	// <0 = one worker per CPU). Replay cost counters are bit-identical at
+	// every width.
+	ReplayParallelism int
 	// Faults, when set, is consulted on every log (and checkpoint) device
 	// page write: the chaos knob that injects transient write errors,
 	// permanent device failures, stalls and torn pages into the §5 engine.
@@ -138,10 +157,13 @@ func NewRecoverySim(cfg RecoveryConfig) (*RecoverySim, error) {
 		ReadCPU:           cfg.ReadCPU,
 		Versioning:        cfg.Versioning,
 		Seed:              cfg.Seed,
+		TruncateLog:       cfg.TruncateLog,
 		Log: wal.Config{
-			Policy:   cfg.Policy,
-			Devices:  devices,
-			Compress: cfg.CompressLog,
+			Policy:          cfg.Policy,
+			Devices:         devices,
+			Compress:        cfg.CompressLog,
+			SegmentPages:    cfg.SegmentPages,
+			CompactSegments: cfg.CompactSegments,
 		},
 	}
 	if cfg.Checkpoint {
@@ -202,57 +224,95 @@ func (s *RecoverySim) RunAndCrash(runFor, crashAt time.Duration) (RecoveryStats,
 	at := s.sim.Now() + crashAt
 	var in recoveryInput
 	s.sim.At(at, func() {
-		in.input, in.err = s.engine.CrashInput()
+		if s.cfg.SegmentPages > 0 {
+			in.seg, in.err = s.engine.CrashInputSegmented()
+		} else {
+			in.input, in.err = s.engine.CrashInput()
+		}
 		in.captured = true
 	})
 	st := s.Run(runFor)
 	if !in.captured || in.err != nil {
 		return st, RecoveryInfo{}, 0, &CrashCaptureError{At: at, Cause: in.err}
 	}
-	_, ri, err := recovery.Recover(in.input)
+	info, err := s.recoverFrom(in)
 	if err != nil {
 		return st, RecoveryInfo{}, 0, err
 	}
-	return st, RecoveryInfo{
-		Committed:  len(ri.Committed),
-		Losers:     len(ri.Losers),
-		Redone:     ri.Redone,
-		Undone:     ri.Undone,
-		LogScanned: ri.LogScanned,
-	}, len(ri.Committed), nil
+	return st, info, info.Committed, nil
 }
 
 type recoveryInput struct {
 	input    recovery.Input
+	seg      recovery.SegInput
 	err      error
 	captured bool
+}
+
+// recoverFrom runs the serial or segmented recovery path on a captured
+// crash image.
+func (s *RecoverySim) recoverFrom(in recoveryInput) (RecoveryInfo, error) {
+	var ri recovery.Info
+	var err error
+	if s.cfg.SegmentPages > 0 {
+		in.seg.Parallelism = s.cfg.ReplayParallelism
+		_, ri, err = recovery.RecoverSegmented(in.seg)
+	} else {
+		_, ri, err = recovery.Recover(in.input)
+	}
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+	return toRecoveryInfo(ri), nil
 }
 
 // CrashAndRecover captures the durable state at the current instant and
 // runs crash recovery, returning how much work recovery did.
 func (s *RecoverySim) CrashAndRecover() (recovered int, info RecoveryInfo, err error) {
-	in, err := s.engine.CrashInput()
+	in := recoveryInput{captured: true}
+	if s.cfg.SegmentPages > 0 {
+		in.seg, in.err = s.engine.CrashInputSegmented()
+	} else {
+		in.input, in.err = s.engine.CrashInput()
+	}
+	if in.err != nil {
+		return 0, RecoveryInfo{}, in.err
+	}
+	info, err = s.recoverFrom(in)
 	if err != nil {
 		return 0, RecoveryInfo{}, err
 	}
-	_, ri, err := recovery.Recover(in)
-	if err != nil {
-		return 0, RecoveryInfo{}, err
-	}
-	return len(ri.Committed), RecoveryInfo{
-		Committed:  len(ri.Committed),
-		Losers:     len(ri.Losers),
-		Redone:     ri.Redone,
-		Undone:     ri.Undone,
-		LogScanned: ri.LogScanned,
-	}, nil
+	return info.Committed, info, nil
 }
 
-// RecoveryInfo reports recovery effort.
+// RecoveryInfo reports recovery effort. The Segments*, ReplayWorkers,
+// CompactedBytes and Virtual fields are populated only by the segmented
+// path (SegmentPages > 0).
 type RecoveryInfo struct {
 	Committed  int
 	Losers     int
 	Redone     int
 	Undone     int
 	LogScanned int
+
+	SegmentsScanned int           // segment files read and decoded
+	SegmentsSkipped int           // segments skipped below the commit.meta horizon
+	ReplayWorkers   int           // recovery fan-out width used
+	CompactedBytes  int64         // log bytes reclaimed by §5.6 compaction
+	Virtual         time.Duration // virtual recovery time (width-independent)
+}
+
+func toRecoveryInfo(ri recovery.Info) RecoveryInfo {
+	return RecoveryInfo{
+		Committed:       len(ri.Committed),
+		Losers:          len(ri.Losers),
+		Redone:          ri.Redone,
+		Undone:          ri.Undone,
+		LogScanned:      ri.LogScanned,
+		SegmentsScanned: ri.SegmentsScanned,
+		SegmentsSkipped: ri.SegmentsSkipped,
+		ReplayWorkers:   ri.ReplayWorkers,
+		CompactedBytes:  ri.CompactedBytes,
+		Virtual:         ri.Virtual,
+	}
 }
