@@ -1,0 +1,691 @@
+package mmdb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmdb/internal/catalog"
+	"mmdb/internal/expr"
+	"mmdb/internal/simio"
+	sqlfront "mmdb/internal/sql"
+)
+
+// ErrReadOnlyReplica is returned when a write reaches a replica database:
+// replicas refuse exclusive relation intents at the lock layer, except for
+// the replication applier itself and session-private temporaries.
+var ErrReadOnlyReplica = errors.New("mmdb: database is a read-only replica")
+
+// shipOpKind enumerates the replicated mutations. Everything a primary
+// does to durable relations reduces to these eight logical operations;
+// replaying them in ship order on a replica that started from the same
+// (empty) state reproduces the primary byte for byte, because every
+// operation is deterministic.
+type shipOpKind uint8
+
+const (
+	opCreateRelation shipOpKind = iota
+	opDropRelation
+	opInsert
+	opFlush
+	opIndex
+	opDelete
+	opDeleteWhere
+	opUpdate
+)
+
+// shipOp is one logical mutation in the primary's serialization order.
+// lsn is the cluster log sequence number the op was assigned at enqueue;
+// replicas publish it as their applied horizon once the op lands.
+type shipOp struct {
+	lsn       uint64
+	kind      shipOpKind
+	rel       string
+	tuple     Tuple
+	schema    *Schema
+	column    string
+	setColumn string
+	value     Value
+	newValue  Value
+	ixKind    IndexKind
+	pred      expr.Predicate
+}
+
+// ReadPrefMode selects how a cluster routes a read-only operation.
+type ReadPrefMode uint8
+
+const (
+	// ReadPrimary always reads from the primary (the default): every
+	// read observes its own writes immediately.
+	ReadPrimary ReadPrefMode = iota
+	// ReadNearest reads from the most caught-up live replica, falling
+	// back to the primary when no replica is live.
+	ReadNearest
+	// ReadBounded reads from a replica whose applied horizon is within
+	// MaxLSNLag operations of the cluster LSN, falling back to the
+	// primary — never an error — when every replica is too stale.
+	ReadBounded
+)
+
+// ReadPreference directs a cluster's read routing. The zero value is
+// primary-only. Attach one to a session or one-shot query with
+// WithReadPreference; on a plain (non-cluster) Database it is accepted
+// and ignored.
+type ReadPreference struct {
+	Mode ReadPrefMode
+	// MaxLSNLag bounds a ReadBounded replica's staleness, measured in
+	// cluster operations behind the primary's last enqueued mutation.
+	MaxLSNLag uint64
+}
+
+// PrimaryOnly returns the default read preference: all reads on the
+// primary.
+func PrimaryOnly() ReadPreference { return ReadPreference{Mode: ReadPrimary} }
+
+// NearestReplica prefers the most caught-up live replica.
+func NearestReplica() ReadPreference { return ReadPreference{Mode: ReadNearest} }
+
+// BoundedStaleness prefers any live replica at most maxLSNLag operations
+// behind the cluster LSN, degrading to the primary otherwise.
+func BoundedStaleness(maxLSNLag uint64) ReadPreference {
+	return ReadPreference{Mode: ReadBounded, MaxLSNLag: maxLSNLag}
+}
+
+// Ship-link pacing: how long one injected stall unit delays a replica's
+// apply stream, and how long a transiently faulted delivery backs off
+// before retrying.
+const (
+	shipStallUnit    = 200 * time.Microsecond
+	shipRetryBackoff = 50 * time.Microsecond
+)
+
+// clusterReplica is one replica database plus its ship link: a FIFO op
+// channel drained by a single applier goroutine, so each replica applies
+// the primary's mutations in serialization order.
+type clusterReplica struct {
+	name string
+	db   *Database
+	ch   chan shipOp
+
+	applied    atomic.Uint64 // cluster LSN of the last applied op
+	ops        atomic.Uint64 // ops applied
+	transients atomic.Uint64 // transient link faults absorbed
+	stalls     atomic.Uint64 // injected stall units served
+	broken     atomic.Bool   // severed: permanent fault or apply error
+	lastErr    atomic.Pointer[string]
+}
+
+// Cluster is a primary database plus N read-only replicas fed by logical
+// operation shipping: every durable mutation on the primary is assigned a
+// cluster LSN while the mutating call still holds its exclusive relation
+// intent, and streamed to each replica's applier in that order. Reads
+// route by ReadPreference (Route, Query, the read-method mirrors); writes
+// and DML always execute on the primary.
+//
+// Replication is asynchronous — a replica trails the primary by the ops
+// still in its link — so reads on replicas are snapshot-stale by up to
+// that lag. BoundedStaleness bounds it; a stalled or severed link simply
+// degrades reads to the primary, never into a client-visible error.
+type Cluster struct {
+	primary  *Database
+	replicas []*clusterReplica
+
+	mu     sync.Mutex // orders enqueue: LSN assignment + fan-out
+	seq    uint64     // last assigned cluster LSN (under mu)
+	closed bool
+
+	lsn      atomic.Uint64 // mirror of seq for lock-free routing reads
+	rr       atomic.Uint64 // round-robin cursor for replica ties
+	injector atomic.Pointer[FaultInjector]
+
+	wg sync.WaitGroup
+
+	// Routing telemetry.
+	primaryReads atomic.Uint64 // reads answered by the primary by preference
+	replicaReads atomic.Uint64 // reads routed to a replica
+	fallbacks    atomic.Uint64 // reads that wanted a replica but degraded
+	writes       atomic.Uint64 // statements classified as writes/DML
+}
+
+// OpenCluster opens a primary database plus replicas read-only copies
+// wired to it by logical operation shipping. All databases share the
+// same Options (each with its own scheduler, broker, lock table and
+// virtual clock). Replicas start empty, exactly like the primary; load
+// data through the primary and it flows to every replica.
+func OpenCluster(primary Options, replicas int) (*Cluster, error) {
+	if replicas < 0 {
+		return nil, fmt.Errorf("mmdb: negative replica count %d", replicas)
+	}
+	pdb, err := Open(primary)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{primary: pdb}
+	for i := 0; i < replicas; i++ {
+		rdb, err := Open(primary)
+		if err != nil {
+			return nil, err
+		}
+		rdb.readOnly = true
+		rdb.locks.SetExclusiveGuard(replicaGuard(rdb))
+		r := &clusterReplica{
+			name: fmt.Sprintf("r%d", i),
+			db:   rdb,
+			ch:   make(chan shipOp, 1024),
+		}
+		c.replicas = append(c.replicas, r)
+		c.wg.Add(1)
+		go c.runApplier(r)
+	}
+	pdb.ship = c.enqueue
+	return c, nil
+}
+
+// replicaGuard is the replica's write-admission hook, consulted by the
+// lock table on every exclusive intent: the replication applier passes
+// (applying is set around each applied op), session-private relations
+// pass (temporaries and adopted planner outputs, registered in
+// localRes), everything else is a client write and is refused.
+func replicaGuard(db *Database) func(res uint64) error {
+	return func(res uint64) error {
+		if db.applying.Load() {
+			return nil
+		}
+		if _, ok := db.localRes.Load(res); ok {
+			return nil
+		}
+		return ErrReadOnlyReplica
+	}
+}
+
+// enqueue assigns the next cluster LSN and fans the op out to every
+// replica link, in one critical section so all replicas see the same
+// total order. It runs inside the primary's mutating call, while the
+// exclusive relation intent is still held — ship order is therefore
+// exactly the primary's serialization order. Channel sends block when a
+// link's buffer is full (backpressure), but the appliers always drain,
+// even severed links (discarding), so enqueue cannot wedge.
+func (c *Cluster) enqueue(op shipOp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.seq++
+	op.lsn = c.seq
+	c.lsn.Store(c.seq)
+	for _, r := range c.replicas {
+		ro := op
+		if op.tuple != nil {
+			// Each replica retains its copy in its own heap file.
+			ro.tuple = op.tuple.Clone()
+		}
+		r.ch <- ro
+	}
+}
+
+// runApplier drains one replica's link: consult the fault schedule,
+// apply, publish the new horizon. A permanent link fault or an apply
+// error severs the link — the replica freezes at a consistent prefix and
+// the goroutine keeps draining (discarding) so enqueue never blocks on a
+// dead link.
+func (c *Cluster) runApplier(r *clusterReplica) {
+	defer c.wg.Done()
+	for op := range r.ch {
+		if r.broken.Load() {
+			continue
+		}
+		if !c.admitOp(r) {
+			continue
+		}
+		if err := r.apply(op); err != nil {
+			msg := err.Error()
+			r.lastErr.Store(&msg)
+			r.broken.Store(true)
+			continue
+		}
+		r.applied.Store(op.lsn)
+		r.ops.Add(1)
+	}
+}
+
+// admitOp consults the armed fault schedule for one delivery on this
+// replica's link (scope "repl/ship/<name>"). Transient faults retry
+// after a short backoff — the stream may not skip an op, or the replica
+// would diverge. Stalls sleep, creating real staleness. Permanent faults
+// sever the link.
+func (c *Cluster) admitOp(r *clusterReplica) bool {
+	inj := c.injector.Load()
+	if inj == nil {
+		return true
+	}
+	for {
+		out := inj.ChargedIO("repl/ship/"+r.name, simio.Seq)
+		if out.Stall > 0 {
+			r.stalls.Add(uint64(out.Stall))
+			time.Sleep(time.Duration(out.Stall) * shipStallUnit)
+		}
+		if out.Err == nil {
+			return true
+		}
+		if errors.Is(out.Err, ErrFaultPermanent) {
+			msg := out.Err.Error()
+			r.lastErr.Store(&msg)
+			r.broken.Store(true)
+			return false
+		}
+		r.transients.Add(1)
+		time.Sleep(shipRetryBackoff)
+	}
+}
+
+// apply replays one logical op through the replica's own public mutation
+// path — the same locking, index maintenance and rewrite code the
+// primary ran — with the applying flag raised so the read-only guard
+// admits it. Determinism of each operation makes replay byte-exact.
+func (r *clusterReplica) apply(op shipOp) error {
+	db := r.db
+	db.applying.Store(true)
+	defer db.applying.Store(false)
+	switch op.kind {
+	case opCreateRelation:
+		_, err := db.CreateRelation(op.rel, op.schema)
+		return err
+	case opDropRelation:
+		return db.DropRelation(op.rel)
+	}
+	rel, err := db.Relation(op.rel)
+	if err != nil {
+		return err
+	}
+	switch op.kind {
+	case opInsert:
+		return rel.InsertTuple(op.tuple)
+	case opFlush:
+		return rel.Flush()
+	case opIndex:
+		return rel.CreateIndex(op.column, op.ixKind)
+	case opDelete:
+		_, err := rel.Delete(op.column, op.value)
+		return err
+	case opDeleteWhere:
+		var p *Pred
+		if op.pred != nil {
+			p = &Pred{rel: rel.rel, inner: op.pred}
+		}
+		_, err := rel.DeleteWhere(p)
+		return err
+	case opUpdate:
+		_, err := rel.Update(op.column, op.value, op.setColumn, op.newValue)
+		return err
+	}
+	return fmt.Errorf("mmdb: unknown ship op kind %d", op.kind)
+}
+
+// Primary returns the cluster's writable database.
+func (c *Cluster) Primary() *Database { return c.primary }
+
+// NumReplicas returns the replica count.
+func (c *Cluster) NumReplicas() int { return len(c.replicas) }
+
+// Replica returns the i-th replica database (for tests and direct
+// read-only use). Writes on it fail with ErrReadOnlyReplica.
+func (c *Cluster) Replica(i int) *Database { return c.replicas[i].db }
+
+// LSN returns the cluster log sequence number: the count of mutations
+// enqueued so far. A replica whose applied horizon equals it is fully
+// caught up.
+func (c *Cluster) LSN() uint64 { return c.lsn.Load() }
+
+// ArmShipFaults installs a fault-injection schedule on the replication
+// links: each delivery on replica i consults scope "repl/ship/r<i>".
+// Transient faults retry (absorbed), stalls delay the apply stream
+// (visible as staleness), permanent faults sever the link — after which
+// reads degrade to the remaining replicas or the primary. nil disarms.
+func (c *Cluster) ArmShipFaults(inj *FaultInjector) { c.injector.Store(inj) }
+
+// Route picks the database a read with the given preference should run
+// on. It never fails: when no replica qualifies the primary answers.
+func (c *Cluster) Route(pref ReadPreference) *Database {
+	switch pref.Mode {
+	case ReadNearest:
+		if r := c.pickNearest(); r != nil {
+			c.replicaReads.Add(1)
+			return r.db
+		}
+		c.fallbacks.Add(1)
+		return c.primary
+	case ReadBounded:
+		if r := c.pickBounded(pref.MaxLSNLag); r != nil {
+			c.replicaReads.Add(1)
+			return r.db
+		}
+		c.fallbacks.Add(1)
+		return c.primary
+	default:
+		c.primaryReads.Add(1)
+		return c.primary
+	}
+}
+
+// pickNearest returns the live replica with the highest applied horizon,
+// round-robin among ties, or nil when none is live.
+func (c *Cluster) pickNearest() *clusterReplica {
+	n := len(c.replicas)
+	if n == 0 {
+		return nil
+	}
+	start := int(c.rr.Add(1)) % n
+	var best *clusterReplica
+	var bestApplied uint64
+	for i := 0; i < n; i++ {
+		r := c.replicas[(start+i)%n]
+		if r.broken.Load() {
+			continue
+		}
+		if a := r.applied.Load(); best == nil || a > bestApplied {
+			best, bestApplied = r, a
+		}
+	}
+	return best
+}
+
+// pickBounded returns a live replica within maxLag ops of the cluster
+// LSN, round-robin, or nil when every replica is too stale or severed.
+func (c *Cluster) pickBounded(maxLag uint64) *clusterReplica {
+	n := len(c.replicas)
+	if n == 0 {
+		return nil
+	}
+	lsn := c.lsn.Load()
+	start := int(c.rr.Add(1)) % n
+	for i := 0; i < n; i++ {
+		r := c.replicas[(start+i)%n]
+		if r.broken.Load() {
+			continue
+		}
+		if lsn-r.applied.Load() <= maxLag {
+			return r
+		}
+	}
+	return nil
+}
+
+// databaseFor classifies one SQL statement for routing: SELECTs go to
+// Route under the session's read preference, everything else — DML, and
+// statements that do not parse (the primary surfaces the error) — to the
+// primary.
+func (c *Cluster) databaseFor(text string, opts []SessionOption) *Database {
+	stmt, err := sqlfront.Parse(text)
+	if err != nil {
+		return c.primary
+	}
+	if _, ok := stmt.(*sqlfront.SelectStmt); ok {
+		return c.Route(resolveSessionConfig(opts).readPref)
+	}
+	c.writes.Add(1)
+	return c.primary
+}
+
+// SessionFor admits a session on the database one SQL statement should
+// run on: a replica for SELECTs when the read preference asks for one,
+// the primary otherwise. The wire server's per-statement routing hook.
+func (c *Cluster) SessionFor(ctx context.Context, text string, opts ...SessionOption) (*Session, error) {
+	return c.databaseFor(text, opts).NewSession(ctx, opts...)
+}
+
+// NewSession admits a read session on the database the preference
+// routes to (the primary without WithReadPreference). Sessions pinned to
+// a replica see a consistent snapshot trailing the primary; writes in
+// them fail with ErrReadOnlyReplica.
+func (c *Cluster) NewSession(ctx context.Context, opts ...SessionOption) (*Session, error) {
+	return c.Route(resolveSessionConfig(opts).readPref).NewSession(ctx, opts...)
+}
+
+// Query runs one SQL statement on the cluster: SELECTs route by the
+// session options' read preference, DML runs on the primary.
+func (c *Cluster) Query(text string, opts ...SessionOption) (*SQLResult, error) {
+	return c.QueryContext(context.Background(), text, opts...)
+}
+
+// QueryContext is the context-first Query.
+func (c *Cluster) QueryContext(ctx context.Context, text string, opts ...SessionOption) (*SQLResult, error) {
+	return c.databaseFor(text, opts).QueryContext(ctx, text, opts...)
+}
+
+// Join routes the read-only join by the options' read preference.
+func (c *Cluster) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple), opts ...SessionOption) (JoinResult, error) {
+	return c.JoinContext(context.Background(), algorithm, left, right, leftCol, rightCol, emit, opts...)
+}
+
+// JoinContext is the context-first cluster Join.
+func (c *Cluster) JoinContext(ctx context.Context, algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple), opts ...SessionOption) (JoinResult, error) {
+	db := c.Route(resolveSessionConfig(opts).readPref)
+	return db.JoinContext(ctx, algorithm, left, right, leftCol, rightCol, emit, opts...)
+}
+
+// Aggregate routes the read-only aggregation by the options' read
+// preference.
+func (c *Cluster) Aggregate(relation, groupCol, valueCol string, opts ...SessionOption) ([]GroupRow, error) {
+	return c.AggregateContext(context.Background(), relation, groupCol, valueCol, opts...)
+}
+
+// AggregateContext is the context-first cluster Aggregate.
+func (c *Cluster) AggregateContext(ctx context.Context, relation, groupCol, valueCol string, opts ...SessionOption) ([]GroupRow, error) {
+	db := c.Route(resolveSessionConfig(opts).readPref)
+	return db.AggregateContext(ctx, relation, groupCol, valueCol, opts...)
+}
+
+// OrderBy routes the read-only ordered scan by the options' read
+// preference.
+func (c *Cluster) OrderBy(relation, column string, fn func(Tuple) bool, opts ...SessionOption) error {
+	return c.OrderByContext(context.Background(), relation, column, fn, opts...)
+}
+
+// OrderByContext is the context-first cluster OrderBy.
+func (c *Cluster) OrderByContext(ctx context.Context, relation, column string, fn func(Tuple) bool, opts ...SessionOption) error {
+	db := c.Route(resolveSessionConfig(opts).readPref)
+	return db.OrderByContext(ctx, relation, column, fn, opts...)
+}
+
+// Distinct routes the read-only duplicate elimination by the options'
+// read preference.
+func (c *Cluster) Distinct(relation, column string, opts ...SessionOption) ([]Value, error) {
+	return c.DistinctContext(context.Background(), relation, column, opts...)
+}
+
+// DistinctContext is the context-first cluster Distinct.
+func (c *Cluster) DistinctContext(ctx context.Context, relation, column string, opts ...SessionOption) ([]Value, error) {
+	db := c.Route(resolveSessionConfig(opts).readPref)
+	return db.DistinctContext(ctx, relation, column, opts...)
+}
+
+// WaitCaughtUp blocks until every live replica's applied horizon reaches
+// the cluster LSN (or ctx ends). Severed replicas are excluded — they
+// will never catch up.
+func (c *Cluster) WaitCaughtUp(ctx context.Context) error {
+	for {
+		target := c.lsn.Load()
+		caught := true
+		for _, r := range c.replicas {
+			if !r.broken.Load() && r.applied.Load() < target {
+				caught = false
+				break
+			}
+		}
+		if caught && target == c.lsn.Load() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// VerifyReplicas compares every live replica against the primary byte
+// for byte: same durable relations, same cardinalities, same tuples in
+// storage order, same indexed columns. Call it on a quiesced, caught-up
+// cluster (it reads heap files directly, uncharged and without intents).
+// It is the cluster determinism oracle — any difference is a divergence
+// bug, never expected staleness.
+func (c *Cluster) VerifyReplicas() error {
+	names := c.shippedRelations()
+	for _, r := range c.replicas {
+		if r.broken.Load() {
+			continue
+		}
+		for _, name := range names {
+			if err := c.compareRelation(r, name); err != nil {
+				return err
+			}
+		}
+		// No extra durable relations on the replica either.
+		for _, name := range r.db.cat.Names() {
+			if isTempRelation(name) {
+				continue
+			}
+			if _, ok := r.db.localRes.Load(catalog.ResourceID(name)); ok {
+				continue
+			}
+			if _, err := c.primary.cat.Get(name); err != nil {
+				return fmt.Errorf("mmdb: replica %s has relation %q the primary lacks", r.name, name)
+			}
+		}
+	}
+	return nil
+}
+
+// shippedRelations lists the primary's replicated relations: everything
+// durable except temporaries and adopted (primary-local) files.
+func (c *Cluster) shippedRelations() []string {
+	var out []string
+	for _, name := range c.primary.cat.Names() {
+		if isTempRelation(name) {
+			continue
+		}
+		if _, ok := c.primary.localRes.Load(catalog.ResourceID(name)); ok {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+func (c *Cluster) compareRelation(r *clusterReplica, name string) error {
+	prel, err := c.primary.cat.Get(name)
+	if err != nil {
+		return err
+	}
+	rrel, err := r.db.cat.Get(name)
+	if err != nil {
+		return fmt.Errorf("mmdb: replica %s lacks relation %q: %w", r.name, name, err)
+	}
+	if got, want := rrel.File.NumTuples(), prel.File.NumTuples(); got != want {
+		return fmt.Errorf("mmdb: replica %s relation %q has %d tuples, primary %d", r.name, name, got, want)
+	}
+	var prim []Tuple
+	if err := prel.File.Scan(simio.Uncharged, func(t Tuple) bool {
+		prim = append(prim, t.Clone())
+		return true
+	}); err != nil {
+		return err
+	}
+	i := 0
+	var diverged error
+	if err := rrel.File.Scan(simio.Uncharged, func(t Tuple) bool {
+		if i >= len(prim) || !bytes.Equal(t, prim[i]) {
+			diverged = fmt.Errorf("mmdb: replica %s relation %q diverges from the primary at tuple %d", r.name, name, i)
+			return false
+		}
+		i++
+		return true
+	}); err != nil {
+		return err
+	}
+	if diverged != nil {
+		return diverged
+	}
+	pix, rix := prel.IndexedColumns(), rrel.IndexedColumns()
+	if len(pix) != len(rix) {
+		return fmt.Errorf("mmdb: replica %s relation %q has %d indexes, primary %d", r.name, name, len(rix), len(pix))
+	}
+	for i := range pix {
+		if pix[i] != rix[i] {
+			return fmt.Errorf("mmdb: replica %s relation %q indexes column %d, primary column %d", r.name, name, rix[i], pix[i])
+		}
+	}
+	return nil
+}
+
+// ReplicaMetrics reports one replica's stream health.
+type ReplicaMetrics struct {
+	Name       string
+	AppliedLSN uint64
+	Lag        uint64 // ops behind the cluster LSN
+	Ops        uint64 // ops applied
+	Transients uint64 // transient link faults absorbed
+	Stalls     uint64 // injected stall units served
+	Broken     bool
+	LastError  string
+}
+
+// ClusterMetrics reports cluster routing and replication activity.
+type ClusterMetrics struct {
+	LSN          uint64 // mutations enqueued
+	PrimaryReads uint64 // reads answered by the primary by preference
+	ReplicaReads uint64 // reads routed to a replica
+	Fallbacks    uint64 // reads that wanted a replica but degraded
+	Writes       uint64 // statements classified as writes/DML
+	Replicas     []ReplicaMetrics
+}
+
+// Metrics snapshots the cluster's routing counters and per-replica
+// stream state.
+func (c *Cluster) Metrics() ClusterMetrics {
+	m := ClusterMetrics{
+		LSN:          c.lsn.Load(),
+		PrimaryReads: c.primaryReads.Load(),
+		ReplicaReads: c.replicaReads.Load(),
+		Fallbacks:    c.fallbacks.Load(),
+		Writes:       c.writes.Load(),
+	}
+	for _, r := range c.replicas {
+		rm := ReplicaMetrics{
+			Name:       r.name,
+			AppliedLSN: r.applied.Load(),
+			Ops:        r.ops.Load(),
+			Transients: r.transients.Load(),
+			Stalls:     r.stalls.Load(),
+			Broken:     r.broken.Load(),
+		}
+		rm.Lag = m.LSN - rm.AppliedLSN
+		if e := r.lastErr.Load(); e != nil {
+			rm.LastError = *e
+		}
+		m.Replicas = append(m.Replicas, rm)
+	}
+	return m
+}
+
+// Close stops replication: new mutations stop shipping, the links drain,
+// and the applier goroutines exit. The databases remain usable (the
+// replicas frozen at their final horizons).
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, r := range c.replicas {
+		close(r.ch)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}

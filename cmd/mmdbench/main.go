@@ -18,6 +18,7 @@
 //	mmdbench -exp sort -parallel 8    # parallel external sort ladder
 //	mmdbench -exp chaos               # fault-plane chaos ladder
 //	mmdbench -exp wire -clients 8     # SQL-over-TCP serving ladder
+//	mmdbench -exp repl                # LSN-shipping replication ladder
 package main
 
 import (
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|sort|chaos|wire")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|sort|chaos|wire|repl")
 	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
 	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
 	par := flag.Int("parallel", 1, "worker goroutines for executed join operators (1 = serial, -1 = GOMAXPROCS); virtual times are identical, wall time shrinks")
@@ -210,6 +211,24 @@ func main() {
 		}
 		if !res.AllIdentical {
 			return fmt.Errorf("wire ladder: virtual counters differed across connection counts (see BENCH_wire.json)")
+		}
+		return nil
+	})
+	run("repl", func() error {
+		cfg := experiments.DefaultReplConfig()
+		if *tuples > 0 {
+			cfg.ClusterRows = *tuples
+		}
+		res, err := experiments.RunRepl(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		if err := res.WriteJSON("BENCH_repl.json"); err != nil {
+			return err
+		}
+		if !res.AllHold {
+			return fmt.Errorf("repl ladder: a replica diverged from the primary's committed prefix, counters drifted across widths, or stall fallback failed (see BENCH_repl.json)")
 		}
 		return nil
 	})

@@ -35,6 +35,7 @@ func main() {
 	par := flag.Int("parallel", 1, "worker goroutines per operator (1 = serial, -1 = GOMAXPROCS)")
 	demo := flag.Int("demo", 0, "load demo tables emp(N)/dept(N/100) with N rows")
 	name := flag.String("name", "mmdb", "server name reported in WELCOME")
+	replicas := flag.Int("replicas", 0, "open N read replicas and route SELECTs by read preference")
 	flag.Parse()
 
 	opts := mmdb.Options{
@@ -52,11 +53,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmdserver: unknown -pick %q (want strict or fair)\n", *pick)
 		os.Exit(2)
 	}
-	db, err := mmdb.Open(opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmdserver: %v\n", err)
-		os.Exit(1)
+	srv := &wire.Server{Name: *name}
+	var db *mmdb.Database
+	if *replicas > 0 {
+		cluster, err := mmdb.OpenCluster(opts, *replicas)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmdserver: %v\n", err)
+			os.Exit(1)
+		}
+		srv.Cluster = cluster
+		db = cluster.Primary()
+	} else {
+		var err error
+		db, err = mmdb.Open(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmdserver: %v\n", err)
+			os.Exit(1)
+		}
 	}
+	srv.DB = db
 	loaded := ""
 	if *demo > 0 {
 		if err := loadDemo(db, *demo); err != nil {
@@ -65,8 +80,9 @@ func main() {
 		}
 		loaded = " (demo tables emp/dept loaded)"
 	}
-
-	srv := &wire.Server{DB: db, Name: *name}
+	if *replicas > 0 {
+		loaded += fmt.Sprintf(" [%d replicas]", *replicas)
+	}
 	lisAddr, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmdserver: %v\n", err)

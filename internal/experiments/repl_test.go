@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestReplLadderSmoke runs a shrunken replication ladder end to end and
+// requires every invariant to hold: byte-identity at each width, cross-
+// width counter identity, cluster verification, and graceful stall
+// fallback. The physical leg's reports are fully deterministic; the
+// cluster leg's wall-clock throughput is not, so only its boolean
+// verdicts are part of the bar.
+func TestReplLadderSmoke(t *testing.T) {
+	cfg := DefaultReplConfig()
+	cfg.Replicas = []int{1, 2}
+	cfg.Widths = []int{1, 4}
+	cfg.RunFor = 300 * time.Millisecond
+	cfg.ClusterReplicas = []int{0, 2}
+	cfg.ClusterRows = 400
+	cfg.ClusterReads = 40
+	cfg.ClusterClients = 2
+
+	res, err := RunRepl(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHold {
+		data, _ := json.MarshalIndent(res, "", "  ")
+		t.Fatalf("repl invariants violated:\n%s", data)
+	}
+	for _, row := range res.ClusterRows {
+		if row.Replicas > 0 && row.ReplicaReads == 0 {
+			t.Fatalf("%d-replica rung never read a replica", row.Replicas)
+		}
+	}
+	if res.StallFallbacks == 0 {
+		t.Fatal("stall rung recorded no primary fallbacks")
+	}
+}

@@ -1,0 +1,152 @@
+package recovery
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/store"
+	"mmdb/internal/wal"
+)
+
+func applyStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.New(16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func aval(b byte) []byte { return bytes.Repeat([]byte{b}, 8) }
+
+func aupd(lsn wal.LSN, txn wal.TxnID, rec uint64, v byte) wal.Record {
+	return wal.Record{LSN: lsn, Txn: txn, Type: wal.Update, Rec: rec, New: aval(v)}
+}
+
+func aout(lsn wal.LSN, txn wal.TxnID, typ wal.RecordType) wal.Record {
+	return wal.Record{LSN: lsn, Txn: txn, Type: typ}
+}
+
+// TestApplierFrontierStallsOnUnresolved is the ordering counterexample
+// that forces the strict-LSN frontier: txn A updates rec 5 at LSN 10 but
+// commits late (LSN 50); txn B overwrites rec 5 at LSN 20 and commits
+// first (LSN 30). Applying B before A — "apply whatever is resolved" —
+// would leave A's value on top. The frontier must hold everything until
+// A resolves, then apply 10 before 20.
+func TestApplierFrontierStallsOnUnresolved(t *testing.T) {
+	a := NewApplier(applyStore(t), 1, cost.Params{})
+	if err := a.Ingest([]wal.Record{
+		aupd(10, 1, 5, 'A'),
+		aupd(20, 2, 5, 'B'),
+		aout(30, 2, wal.Commit),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.AppliedLSN(); got != 9 {
+		t.Fatalf("frontier = %d, want 9 (stalled before txn 1's unresolved update)", got)
+	}
+	if a.Redone() != 0 || a.Buffered() != 2 {
+		t.Fatalf("redone=%d buffered=%d, want 0/2", a.Redone(), a.Buffered())
+	}
+	if err := a.Ingest([]wal.Record{aout(50, 1, wal.Commit)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.AppliedLSN(); got != 50 {
+		t.Fatalf("frontier = %d, want 50", got)
+	}
+	want := applyStore(t)
+	_ = want.Apply(5, aval('A'))
+	_ = want.Apply(5, aval('B'))
+	if !a.Store().Equal(want) {
+		t.Fatal("store diverged: updates not applied in LSN order")
+	}
+}
+
+// TestApplierMatchesReferenceAcrossWidths streams an interleaved
+// multi-transaction history (including an abort with compensating
+// updates) in several batch splits and at widths 1–8; every combination
+// must land byte-identical to the serial reference with identical
+// counters.
+func TestApplierMatchesReferenceAcrossWidths(t *testing.T) {
+	var stream []wal.Record
+	lsn := wal.LSN(0)
+	next := func() wal.LSN { lsn++; return lsn }
+	// Three interleaved transactions over overlapping records; txn 3
+	// aborts via compensating updates + End.
+	for i := 0; i < 3; i++ {
+		rec := uint64(4 + i*3)
+		stream = append(stream,
+			aupd(next(), 1, uint64(i*2), byte('a'+i)),
+			aupd(next(), 3, rec, byte('x'+i)),
+			aupd(next(), 2, uint64(i*2), byte('A'+i)),
+		)
+	}
+	stream = append(stream, aout(next(), 2, wal.Commit))
+	for i := 2; i >= 0; i-- { // compensation, reverse order
+		stream = append(stream, aupd(next(), 3, uint64(4+i*3), 0))
+	}
+	stream = append(stream, aout(next(), 3, wal.End))
+	stream = append(stream, aupd(next(), 1, 15, 'z'))
+	stream = append(stream, aout(next(), 1, wal.Commit))
+
+	// Serial reference: every update in LSN order.
+	ref := applyStore(t)
+	for _, r := range stream {
+		if r.Type == wal.Update {
+			if err := ref.Apply(r.Rec, r.New); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var baseline cost.Counters
+	for _, width := range []int{1, 2, 4, 8} {
+		for _, batch := range []int{1, 3, len(stream)} {
+			name := fmt.Sprintf("width=%d/batch=%d", width, batch)
+			a := NewApplier(applyStore(t), width, cost.Params{})
+			for i := 0; i < len(stream); i += batch {
+				end := i + batch
+				if end > len(stream) {
+					end = len(stream)
+				}
+				if err := a.Ingest(stream[i:end]); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+			if a.AppliedLSN() != lsn || a.Buffered() != 0 {
+				t.Fatalf("%s: frontier %d buffered %d, want %d/0", name, a.AppliedLSN(), a.Buffered(), lsn)
+			}
+			if !a.Store().Equal(ref) {
+				t.Fatalf("%s: store diverged from serial reference", name)
+			}
+			if baseline == (cost.Counters{}) {
+				baseline = a.Counters()
+			} else if a.Counters() != baseline {
+				t.Fatalf("%s: counters %+v differ from baseline %+v", name, a.Counters(), baseline)
+			}
+		}
+	}
+}
+
+// TestApplierRedeliveryAndOrder: records at or below the received
+// horizon are skipped (stream redelivery), in-batch regressions are an
+// error.
+func TestApplierRedeliveryAndOrder(t *testing.T) {
+	a := NewApplier(applyStore(t), 1, cost.Params{})
+	first := []wal.Record{aupd(1, 1, 0, 'a'), aout(2, 1, wal.Commit)}
+	if err := a.Ingest(first); err != nil {
+		t.Fatal(err)
+	}
+	redone := a.Redone()
+	if err := a.Ingest(first); err != nil { // full redelivery: no-op
+		t.Fatal(err)
+	}
+	if a.Redone() != redone {
+		t.Fatal("redelivered records were re-applied")
+	}
+	if err := a.Ingest([]wal.Record{aupd(5, 2, 1, 'b'), aupd(4, 2, 2, 'c')}); err == nil {
+		t.Fatal("want error for in-batch LSN regression")
+	}
+}

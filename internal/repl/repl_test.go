@@ -1,0 +1,214 @@
+package repl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/event"
+	"mmdb/internal/fault"
+	"mmdb/internal/store"
+	"mmdb/internal/txn"
+	"mmdb/internal/wal"
+)
+
+// replEngine builds a small seeded debit/credit primary on a segmented
+// stable-memory log with truncation active — truncation matters here:
+// the cursor's replication slot must keep every un-shipped record alive.
+func replEngine(t *testing.T, seed int64) (*event.Sim, *txn.Engine) {
+	t.Helper()
+	sim := &event.Sim{}
+	e, err := txn.New(sim, txn.Config{
+		Accounts:       512,
+		Terminals:      8,
+		UpdatesPerTxn:  3,
+		RecordsPerPage: 64,
+		AbortEvery:     7,
+		Seed:           seed,
+		TruncateLog:    true,
+		TruncateEvery:  8,
+		Log: wal.Config{
+			Policy:       wal.StableMemory,
+			Devices:      []*wal.Device{wal.NewDevice("log0", 10*time.Millisecond)},
+			PageSize:     4096,
+			SegmentPages: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, e
+}
+
+func zeroStoreLike(t *testing.T, st *store.Store) *store.Store {
+	t.Helper()
+	z, err := store.New(st.NumRecords(), st.RecordSize(), st.RecordsPerPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+// checkReplica verifies the determinism oracle for one replica: its
+// store is byte-identical to the primary's committed prefix at its
+// applied LSN (and, when fully caught up after quiesce, to the primary's
+// live store).
+func checkReplica(t *testing.T, e *txn.Engine, recs []wal.Record, st *store.Store, at wal.LSN, label string) {
+	t.Helper()
+	prim := e.Store()
+	ref, err := ReferencePrefix(recs, at, prim.NumRecords(), prim.RecordSize(), prim.RecordsPerPage())
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !st.Equal(ref) {
+		t.Fatalf("%s: replica at LSN %d diverged from the primary's committed prefix", label, at)
+	}
+}
+
+// TestReplReplicaMatchesPrimaryAcrossWidths runs the same primary with
+// replicas applying at widths 1–8: a mid-run snapshot and the final
+// state must both be byte-identical to the committed prefix at their
+// applied LSNs, the final state identical to the primary's live store,
+// and the apply counters bit-identical across widths.
+func TestReplReplicaMatchesPrimaryAcrossWidths(t *testing.T) {
+	type snap struct {
+		st *store.Store
+		at wal.LSN
+	}
+	var baseline []cost.Counters
+	for _, width := range []int{1, 2, 4, 8} {
+		sim, e := replEngine(t, 11)
+		sh, err := NewShipper(Config{Sim: sim, Log: e.Log(), Parallelism: width})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reps []*Replica
+		for i := 0; i < 2; i++ {
+			reps = append(reps, sh.AddReplica(fmt.Sprintf("r%d", i), zeroStoreLike(t, e.Store())))
+		}
+		var snaps []snap
+		sim.At(300*time.Millisecond, func() {
+			for _, r := range reps {
+				st, at := r.Snapshot()
+				snaps = append(snaps, snap{st, at})
+			}
+		})
+		e.Run(600 * time.Millisecond)
+		if !sh.CatchUp() {
+			t.Fatalf("width %d: replicas failed to catch up", width)
+		}
+		recs, _ := e.Log().DurableRecords(sim.Now())
+		if len(snaps) != 2 {
+			t.Fatalf("width %d: snapshot hook did not fire", width)
+		}
+		for i, s := range snaps {
+			if s.at == 0 {
+				t.Fatalf("width %d: replica %d had applied nothing by mid-run", width, i)
+			}
+			checkReplica(t, e, recs, s.st, s.at, fmt.Sprintf("width %d replica %d mid-run", width, i))
+		}
+		for i, r := range reps {
+			label := fmt.Sprintf("width %d replica %d final", width, i)
+			if r.AppliedLSN() != e.Log().DurableLSN() {
+				t.Fatalf("%s: applied %d != durable %d", label, r.AppliedLSN(), e.Log().DurableLSN())
+			}
+			checkReplica(t, e, recs, r.Store(), r.AppliedLSN(), label)
+			if !r.Store().Equal(e.Store()) {
+				t.Fatalf("%s: caught-up replica differs from the primary's live store", label)
+			}
+			if len(baseline) <= i {
+				baseline = append(baseline, r.ApplyCounters())
+			} else if r.ApplyCounters() != baseline[i] {
+				t.Fatalf("%s: apply counters drifted across widths: %+v != %+v", label, r.ApplyCounters(), baseline[i])
+			}
+		}
+	}
+}
+
+// TestReplConvergesUnderStallsAndTransients injects stalls on one link
+// and transient drops on the other; both replicas must still converge
+// byte-identically, with the faults visible in the stream stats.
+func TestReplConvergesUnderStallsAndTransients(t *testing.T) {
+	sim, e := replEngine(t, 23)
+	inj := fault.NewInjector(5).
+		StallEvery("repl/ship/r0", 3, 8).
+		TransientEvery("repl/ship/r1", 4)
+	sh, err := NewShipper(Config{Sim: sim, Log: e.Log(), Parallelism: 4, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := sh.AddReplica("r0", zeroStoreLike(t, e.Store()))
+	r1 := sh.AddReplica("r1", zeroStoreLike(t, e.Store()))
+	e.Run(600 * time.Millisecond)
+	if !sh.CatchUp() {
+		t.Fatal("replicas failed to catch up under faults")
+	}
+	recs, _ := e.Log().DurableRecords(sim.Now())
+	checkReplica(t, e, recs, r0.Store(), r0.AppliedLSN(), "stalled replica")
+	checkReplica(t, e, recs, r1.Store(), r1.AppliedLSN(), "flaky replica")
+	if !r0.Store().Equal(e.Store()) || !r1.Store().Equal(e.Store()) {
+		t.Fatal("faulted replicas did not converge to the primary store")
+	}
+	if r0.Stats().Stalls == 0 {
+		t.Fatal("stall rule never fired on r0")
+	}
+	if r1.Stats().Transients == 0 {
+		t.Fatal("transient rule never fired on r1")
+	}
+}
+
+// TestReplPermanentFaultBreaksOneLink severs one link permanently; the
+// broken replica stops (frozen at a consistent prefix) while the healthy
+// one still converges, and the broken link releases its replication slot
+// so truncation may proceed.
+func TestReplPermanentFaultBreaksOneLink(t *testing.T) {
+	sim, e := replEngine(t, 31)
+	inj := fault.NewInjector(9).PermanentAfter("repl/ship/r0", 5)
+	sh, err := NewShipper(Config{Sim: sim, Log: e.Log(), Parallelism: 2, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := sh.AddReplica("r0", zeroStoreLike(t, e.Store()))
+	r1 := sh.AddReplica("r1", zeroStoreLike(t, e.Store()))
+	e.Run(600 * time.Millisecond)
+	if !sh.CatchUp() {
+		t.Fatal("healthy replica failed to catch up")
+	}
+	if !r0.Broken() {
+		t.Fatal("permanent fault did not break the r0 link")
+	}
+	recs, _ := e.Log().DurableRecords(sim.Now())
+	// Even severed, the frozen prefix must be consistent.
+	checkReplica(t, e, recs, r0.Store(), r0.AppliedLSN(), "broken replica prefix")
+	if r0.AppliedLSN() >= e.Log().DurableLSN() {
+		t.Fatal("broken replica unexpectedly saw the whole log")
+	}
+	checkReplica(t, e, recs, r1.Store(), r1.AppliedLSN(), "surviving replica")
+	if !r1.Store().Equal(e.Store()) {
+		t.Fatal("surviving replica did not converge")
+	}
+}
+
+// TestReplLagSampling: deliveries record the LSN lag behind the durable
+// horizon for staleness percentiles.
+func TestReplLagSampling(t *testing.T) {
+	sim, e := replEngine(t, 41)
+	sh, err := NewShipper(Config{Sim: sim, Log: e.Log(), ShipDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sh.AddReplica("r0", zeroStoreLike(t, e.Store()))
+	e.Run(300 * time.Millisecond)
+	sh.CatchUp()
+	if len(r.LagSamples()) == 0 {
+		t.Fatal("no lag samples recorded")
+	}
+	if r.Stats().Deliveries == 0 || r.Stats().Records == 0 {
+		t.Fatalf("empty stream stats: %+v", r.Stats())
+	}
+	// The relay scan charges IO like recovery's segment scan.
+	if c := r.RelayCounters(); c == (cost.Counters{}) {
+		t.Fatal("relay scan charged nothing")
+	}
+}

@@ -25,11 +25,27 @@ type LockTable struct {
 	mu  sync.Mutex
 	m   *lock.Manager
 	ids atomic.Uint64 // session/DDL transaction ids, disjoint per table
+
+	// exclusiveGuard, when set, vets every Exclusive acquisition before
+	// it is enqueued — the read-only admission hook for replica
+	// databases: reads (Shared intents) pass untouched, writes are
+	// refused at the lock layer unless the guard allows the resource
+	// (the replication applier, or a session-private temporary).
+	exclusiveGuard func(res uint64) error
 }
 
 // NewLockTable returns a façade over a fresh lock manager.
 func NewLockTable() *LockTable {
 	return &LockTable{m: lock.NewManager()}
+}
+
+// SetExclusiveGuard installs (or clears, with nil) the Exclusive-mode
+// admission guard. The guard runs under the table mutex and must not
+// block or re-enter the table.
+func (t *LockTable) SetExclusiveGuard(fn func(res uint64) error) {
+	t.mu.Lock()
+	t.exclusiveGuard = fn
+	t.mu.Unlock()
 }
 
 // NextID allocates a fresh transaction id for a session or a one-shot DDL
@@ -46,6 +62,12 @@ func (t *LockTable) NextID() wal.TxnID {
 func (t *LockTable) Acquire(ctx context.Context, txn wal.TxnID, res uint64, mode lock.Mode) ([]wal.TxnID, error) {
 	ch := make(chan []wal.TxnID, 1)
 	t.mu.Lock()
+	if mode == lock.Exclusive && t.exclusiveGuard != nil {
+		if err := t.exclusiveGuard(res); err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+	}
 	granted := t.m.Acquire(txn, res, mode, func(deps []wal.TxnID) {
 		ch <- deps
 	})

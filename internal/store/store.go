@@ -169,6 +169,26 @@ func (s *Store) Checkpointed(p int) {
 	delete(s.dirty, p)
 }
 
+// Clone returns an independent deep copy of the store — data and
+// dirty-page bookkeeping. Used to snapshot replica state mid-stream for
+// byte-identity checks against a reference prefix.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		recSize:        s.recSize,
+		recordsPerPage: s.recordsPerPage,
+		data:           append([]byte(nil), s.data...),
+		dirty:          make(map[int]wal.LSN, len(s.dirty)),
+		lastLSN:        make(map[int]wal.LSN, len(s.lastLSN)),
+	}
+	for p, lsn := range s.dirty {
+		c.dirty[p] = lsn
+	}
+	for p, lsn := range s.lastLSN {
+		c.lastLSN[p] = lsn
+	}
+	return c
+}
+
 // Equal reports whether two stores hold identical data.
 func (s *Store) Equal(o *Store) bool {
 	if len(s.data) != len(o.data) || s.recSize != o.recSize {

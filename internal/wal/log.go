@@ -183,6 +183,12 @@ type Log struct {
 	// before that record is durable.
 	unresolvedFirst map[TxnID]LSN
 	compactorIdle   bool // a compact tick is not currently scheduled
+
+	// cursors are the registered replication-stream cursors (stream.go).
+	// Each acts as a slot flooring truncation at its unconsumed LSN.
+	cursors []*Cursor
+	// onDurable subscribers run whenever the durable horizon advances.
+	onDurable []func()
 }
 
 // NewLog creates a log manager on the simulator.
@@ -509,6 +515,7 @@ func (l *Log) seal(f *fragment) {
 		}
 		l.publishMeta()
 		l.kickCompactor()
+		l.notifyDurable()
 	})
 }
 
@@ -661,6 +668,7 @@ func (l *Log) startDrain() {
 		l.stableBytes -= freed
 		l.publishMeta()
 		l.kickCompactor()
+		l.notifyDurable()
 		if l.onDrain != nil {
 			l.onDrain()
 		}
@@ -675,8 +683,14 @@ func (l *Log) startDrain() {
 // for the §5.5 safety bound — lsn must not exceed the recovery start
 // point (the oldest entry of the stable first-update table) nor the first
 // LSN of any unresolved transaction, or redo/undo would lose work.
-// Truncation only moves forward.
+// Truncation only moves forward, and is additionally floored by any
+// registered stream cursors (replication slots): a record no cursor has
+// consumed yet survives truncation so lagging replicas can still catch
+// up from this log.
 func (l *Log) TruncateBefore(lsn LSN) {
+	if floor, ok := l.shipFloor(); ok && lsn > floor {
+		lsn = floor
+	}
 	if lsn <= l.truncateLSN {
 		return
 	}

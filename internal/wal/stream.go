@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the log-shipping surface of the Log: stream cursors over
+// the committed durable prefix, and a subscription hook fired whenever the
+// durable horizon advances. Together they are the primary side of LSN
+// replication — a shipper subscribes, and on every durability event pulls
+// the records its replicas have not seen yet.
+
+// Cursor is a stream position into the log's durable prefix: everything
+// at or below Pos has been consumed. A registered cursor acts as a
+// replication slot — TruncateBefore will not reclaim records the cursor
+// has not consumed yet, so a lagging replica can always catch up from the
+// primary's log. Close the cursor to release the slot.
+type Cursor struct {
+	log    *Log
+	pos    LSN
+	closed bool
+}
+
+// NewCursor registers a stream cursor that has consumed everything at or
+// below after (0 = from the beginning of the log).
+func (l *Log) NewCursor(after LSN) *Cursor {
+	c := &Cursor{log: l, pos: after}
+	l.cursors = append(l.cursors, c)
+	return c
+}
+
+// Pos returns the highest LSN the cursor has consumed.
+func (c *Cursor) Pos() LSN { return c.pos }
+
+// Next returns up to max records past the cursor within the durable
+// prefix at virtual time t — records r with Pos < r.LSN <= DurableLSN()
+// — and advances the cursor past them. max <= 0 means no limit. The
+// returned slice is LSN-ascending and gap-free with respect to
+// durability: nothing above DurableLSN is ever handed out, so a consumer
+// applying the stream in order sees exactly the log's committed prefix
+// unfolding.
+func (c *Cursor) Next(t time.Duration, max int) []Record {
+	if c.closed {
+		return nil
+	}
+	durable := c.log.DurableLSN()
+	if durable <= c.pos {
+		return nil
+	}
+	merged, _ := c.log.DurableRecords(t) // error is always nil
+	// Binary search the first record past the cursor.
+	lo, hi := 0, len(merged)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if merged[mid].LSN <= c.pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var out []Record
+	for _, r := range merged[lo:] {
+		if r.LSN > durable {
+			break
+		}
+		out = append(out, r)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	if n := len(out); n > 0 {
+		c.pos = out[n-1].LSN
+	}
+	return out
+}
+
+// Close deregisters the cursor: it stops flooring log truncation and
+// returns no further records.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	keep := c.log.cursors[:0]
+	for _, o := range c.log.cursors {
+		if o != c {
+			keep = append(keep, o)
+		}
+	}
+	c.log.cursors = keep
+}
+
+// shipFloor returns the truncation bound imposed by registered cursors:
+// the smallest unconsumed LSN across them (ok=false when there are none).
+// Records at or above it must survive truncation so every cursor can
+// still stream them.
+func (l *Log) shipFloor() (LSN, bool) {
+	var min LSN
+	found := false
+	for _, c := range l.cursors {
+		if c.closed {
+			continue
+		}
+		if !found || c.pos+1 < min {
+			min, found = c.pos+1, true
+		}
+	}
+	return min, found
+}
+
+// PackPages packs an LSN-ordered record batch into the minimal sequence
+// of encoded log pages of the given size — the ship-frame format of the
+// replication stream. Each frame is a normal CRC-framed log page, so the
+// receiving side decodes it with DecodePageTail and inherits the same
+// torn/corrupt-frame detection recovery uses.
+func PackPages(recs []Record, pageSize int) ([][]byte, error) {
+	payload := pageSize - pageHeader
+	var pages [][]byte
+	var cur []Record
+	bytes := 0
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		img, err := EncodePage(cur, pageSize)
+		if err != nil {
+			return err
+		}
+		pages = append(pages, img)
+		cur, bytes = cur[:0], 0
+		return nil
+	}
+	for _, r := range recs {
+		sz := r.EncodedSize()
+		if sz > payload {
+			return nil, fmt.Errorf("wal: record LSN %d (%d bytes) exceeds frame payload %d", r.LSN, sz, payload)
+		}
+		if bytes+sz > payload {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		cur = append(cur, r)
+		bytes += sz
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return pages, nil
+}
+
+// SubscribeDurable registers fn to run (on the simulator goroutine)
+// whenever the log's durable horizon advances: a page write completes, or
+// a stable-memory drain frees space. Under the StableMemory policy
+// appends are durable immediately, so subscribers should also poll —
+// durability can advance without any device event firing.
+func (l *Log) SubscribeDurable(fn func()) {
+	l.onDurable = append(l.onDurable, fn)
+}
+
+// notifyDurable fires the durable-horizon subscribers.
+func (l *Log) notifyDurable() {
+	for _, fn := range l.onDurable {
+		fn()
+	}
+}

@@ -48,26 +48,61 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 // ClassDefault in Query.Class means "use the connection's HELLO class".
 const ClassDefault = 0xFF
 
+// PrefDefault in Query.Pref means "no read preference attached": the
+// server routes the statement as if the client were version 1 (reads go
+// to the primary, or wherever the server's own default sends them).
+const PrefDefault = 0xFF
+
+// Read-preference modes carried in the version-2 QUERY tail; they map
+// 1:1 onto the engine's ReadPreference modes (docs/WIRE.md §4.2).
+const (
+	PrefPrimary = 0 // mmdb.ReadPrimary
+	PrefNearest = 1 // mmdb.ReadNearest
+	PrefBounded = 2 // mmdb.ReadBounded; MaxLag carries the LSN bound
+)
+
 // Query is one statement request (docs/WIRE.md §4.2). Class and
 // MinPages override the connection defaults per query — this is how the
 // engine's WithClass/WithMinPages session options travel end to end.
+// Pref/MaxLag are the version-2 read-preference tail: when Pref is not
+// PrefDefault a cluster-backed server routes the statement's reads by
+// the carried preference, exactly like mmdb.WithReadPreference.
 type Query struct {
 	Class    byte   // ClassDefault = connection default
 	MinPages uint32 // 0 = connection default
 	SQL      string
+	Pref     byte   // PrefDefault = none; else Pref* mode (v2 only)
+	MaxLag   uint64 // LSN bound for PrefBounded
 }
 
-// EncodeQuery renders a QUERY payload.
+// EncodeQuery renders a QUERY payload in version-1 layout. Use it when
+// the negotiated version is 1 or the statement carries no preference.
 func EncodeQuery(q Query) []byte {
 	b := []byte{q.Class}
 	b = appendU32(b, q.MinPages)
 	return appendString32(b, q.SQL)
 }
 
-// DecodeQuery parses a QUERY payload.
+// EncodeQueryV2 renders a QUERY payload with the version-2 tail
+// ([pref u8][max_lag u64] after the SQL). Only send it on a connection
+// that negotiated version >= 2: a version-1 decoder treats the tail as
+// trailing garbage and kills the connection.
+func EncodeQueryV2(q Query) []byte {
+	b := EncodeQuery(q)
+	b = append(b, q.Pref)
+	return appendU64(b, q.MaxLag)
+}
+
+// DecodeQuery parses a QUERY payload, accepting both layouts: the tail
+// is read only when bytes remain after the SQL, so version-1 frames
+// decode with Pref = PrefDefault.
 func DecodeQuery(p []byte) (Query, error) {
 	r := &reader{b: p}
-	q := Query{Class: r.u8(), MinPages: r.u32(), SQL: r.string32()}
+	q := Query{Class: r.u8(), MinPages: r.u32(), SQL: r.string32(), Pref: PrefDefault}
+	if r.err == nil && len(r.b) > 0 {
+		q.Pref = r.u8()
+		q.MaxLag = r.u64()
+	}
 	return q, r.done()
 }
 

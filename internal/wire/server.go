@@ -24,6 +24,12 @@ type Server struct {
 	DB   *mmdb.Database
 	Name string // reported in WELCOME
 
+	// Cluster, when set, routes every statement through the cluster's
+	// read routing: SELECTs go to a replica or the primary per the
+	// statement's read preference (the v2 QUERY tail), writes always to
+	// the primary. DB may be left nil; it defaults to Cluster.Primary().
+	Cluster *mmdb.Cluster
+
 	lis    net.Listener
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -47,6 +53,9 @@ func (srv *Server) Stats() *Stats { return &srv.stats }
 // Listen binds addr (e.g. "127.0.0.1:0") without serving yet; the
 // returned address carries the chosen port.
 func (srv *Server) Listen(addr string) (net.Addr, error) {
+	if srv.DB == nil && srv.Cluster != nil {
+		srv.DB = srv.Cluster.Primary()
+	}
 	if srv.DB == nil {
 		return nil, fmt.Errorf("wire: server has no database")
 	}
@@ -158,15 +167,22 @@ func (srv *Server) handleConn(conn net.Conn) {
 		srv.protoError(conn, "bad HELLO: %v", err)
 		return
 	}
-	if hello.Version != Version {
-		srv.protoError(conn, "protocol version %d not supported (server speaks %d)", hello.Version, Version)
+	if hello.Version < MinVersion {
+		srv.protoError(conn, "protocol version %d not supported (server speaks %d..%d)", hello.Version, MinVersion, Version)
 		return
+	}
+	// Negotiate down to the older of the two speakers; WELCOME announces
+	// the version the connection will actually use, and a v1 connection
+	// simply never carries the v2 QUERY tail.
+	version := hello.Version
+	if version > Version {
+		version = Version
 	}
 	if _, err := classOf(hello.Class); err != nil {
 		srv.protoError(conn, "%v", err)
 		return
 	}
-	if err := WriteFrame(conn, TWelcome, EncodeWelcome(Welcome{Version: Version, Server: srv.Name})); err != nil {
+	if err := WriteFrame(conn, TWelcome, EncodeWelcome(Welcome{Version: version, Server: srv.Name})); err != nil {
 		return
 	}
 
@@ -193,6 +209,31 @@ func (srv *Server) handleConn(conn net.Conn) {
 			srv.protoError(conn, "unexpected frame type 0x%02X", typ)
 			return
 		}
+	}
+}
+
+// newSession admits the statement's session: through the cluster's
+// read routing when one is attached (SELECTs may land on a replica per
+// the statement's preference, writes on the primary), directly on the
+// database otherwise.
+func (srv *Server) newSession(sql string, opts []mmdb.SessionOption) (*mmdb.Session, error) {
+	if srv.Cluster != nil {
+		return srv.Cluster.SessionFor(context.Background(), sql, opts...)
+	}
+	return srv.DB.NewSession(context.Background(), opts...)
+}
+
+// prefOf maps a wire preference byte onto the engine's ReadPreference.
+func prefOf(b byte, maxLag uint64) (mmdb.ReadPreference, error) {
+	switch b {
+	case PrefPrimary:
+		return mmdb.PrimaryOnly(), nil
+	case PrefNearest:
+		return mmdb.NearestReplica(), nil
+	case PrefBounded:
+		return mmdb.BoundedStaleness(maxLag), nil
+	default:
+		return mmdb.ReadPreference{}, fmt.Errorf("wire: unknown read preference %d", b)
 	}
 }
 
@@ -228,8 +269,16 @@ func (srv *Server) serveQuery(conn net.Conn, hello Hello, q Query) bool {
 	if minPages > 0 {
 		opts = append(opts, mmdb.WithMinPages(int(minPages)))
 	}
+	if q.Pref != PrefDefault {
+		pref, err := prefOf(q.Pref, q.MaxLag)
+		if err != nil {
+			srv.protoError(conn, "%v", err)
+			return false
+		}
+		opts = append(opts, mmdb.WithReadPreference(pref))
+	}
 
-	sess, err := srv.DB.NewSession(context.Background(), opts...)
+	sess, err := srv.newSession(q.SQL, opts)
 	if err != nil {
 		var ov *mmdb.OverloadError
 		if errors.As(err, &ov) {

@@ -2,9 +2,11 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"mmdb"
 )
@@ -237,11 +239,96 @@ func TestServerPingAndProto(t *testing.T) {
 	}
 }
 
-// TestServerHelloVersion checks version negotiation failure closes the
-// connection with CodeProto.
+// TestServerHelloVersion checks HELLO version negotiation: the server
+// answers min(client, server), still speaks version-1 connections, and
+// rejects versions below MinVersion with CodeProto.
 func TestServerHelloVersion(t *testing.T) {
 	db := mmdb.MustOpen(mmdb.Options{MemoryPages: 16})
 	srv := &Server{DB: db}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		return conn
+	}
+
+	// A client ahead of the server negotiates down to the server's max;
+	// a version-1 client gets a version-1 connection.
+	for _, tc := range []struct{ client, want byte }{{99, Version}, {1, 1}, {Version, Version}} {
+		conn := dial()
+		if err := WriteFrame(conn, THello, EncodeHello(Hello{Version: tc.client})); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := ReadFrame(conn)
+		if err != nil || typ != TWelcome {
+			t.Fatalf("client v%d: type 0x%02X err %v", tc.client, typ, err)
+		}
+		w, err := DecodeWelcome(payload)
+		if err != nil || w.Version != tc.want {
+			t.Fatalf("client v%d: negotiated %d, want %d (err %v)", tc.client, w.Version, tc.want, err)
+		}
+	}
+
+	// Below MinVersion is a protocol error and the connection closes.
+	conn := dial()
+	if err := WriteFrame(conn, THello, EncodeHello(Hello{Version: 0})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil || typ != TError {
+		t.Fatalf("version reject: type 0x%02X err %v", typ, err)
+	}
+	e, err := DecodeError(payload)
+	if err != nil || e.Code != CodeProto || !strings.Contains(e.Msg, "version") {
+		t.Fatalf("version reject error: %+v err %v", e, err)
+	}
+	if _, _, err := ReadFrame(conn); err == nil {
+		t.Fatal("connection stayed open after version reject")
+	}
+}
+
+// TestServerReplClusterRouting checks the version-2 read-preference
+// tail end to end against a cluster-backed server: SELECTs carrying
+// PrefNearest land on a replica, writes always land on the primary, and
+// version-1 frames (no tail) keep working and read from the primary.
+func TestServerReplClusterRouting(t *testing.T) {
+	cluster, err := mmdb.OpenCluster(mmdb.Options{MemoryPages: 64, MaxConcurrentQueries: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	emp, err := cluster.Primary().CreateRelation("emp", mmdb.MustSchema(
+		mmdb.Field{Name: "id", Kind: mmdb.Int64},
+		mmdb.Field{Name: "salary", Kind: mmdb.Int64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := emp.Insert(mmdb.IntValue(int64(i+1)), mmdb.IntValue(int64(100*(i+1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := emp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cluster.WaitCaughtUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := &Server{Cluster: cluster, Name: "cluster test"}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -254,18 +341,117 @@ func TestServerHelloVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := WriteFrame(conn, THello, EncodeHello(Hello{Version: 99})); err != nil {
+	if err := WriteFrame(conn, THello, EncodeHello(Hello{Version: Version, Class: byte(mmdb.Batch)})); err != nil {
 		t.Fatal(err)
 	}
 	typ, payload, err := ReadFrame(conn)
+	if err != nil || typ != TWelcome {
+		t.Fatalf("handshake: type 0x%02X err %v", typ, err)
+	}
+	if w, err := DecodeWelcome(payload); err != nil || w.Version != Version {
+		t.Fatalf("WELCOME %+v err %v", w, err)
+	}
+
+	// runQueryV2 sends the v2 payload (read-preference tail included).
+	runQueryV2 := func(q Query) (Result, []mmdb.Tuple, *ErrorFrame) {
+		t.Helper()
+		if err := WriteFrame(conn, TQuery, EncodeQueryV2(q)); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ == TError {
+			e, err := DecodeError(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Result{}, nil, &e
+		}
+		if typ != TResult {
+			t.Fatalf("unexpected frame type 0x%02X", typ)
+		}
+		res, err := DecodeResult(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schema, err := res.Schema()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []mmdb.Tuple
+		for {
+			typ, payload, err := ReadFrame(conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if typ == TDone {
+				return res, rows, nil
+			}
+			if typ != TRows {
+				t.Fatalf("unexpected frame type 0x%02X mid-response", typ)
+			}
+			batch, err := DecodeRows(payload, schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range batch {
+				rows = append(rows, mmdb.Tuple(r))
+			}
+		}
+	}
+
+	// A nearest-replica SELECT lands on a replica.
+	before := cluster.Metrics().ReplicaReads
+	_, rows, ef := runQueryV2(Query{Class: ClassDefault, SQL: "SELECT id FROM emp", Pref: PrefNearest})
+	if ef != nil || len(rows) != 8 {
+		t.Fatalf("nearest SELECT: err=%+v rows=%d", ef, len(rows))
+	}
+	if got := cluster.Metrics().ReplicaReads; got <= before {
+		t.Fatalf("nearest SELECT did not read a replica (replicaReads %d -> %d)", before, got)
+	}
+
+	// A write carrying the same preference still lands on the primary.
+	res, _, ef := runQueryV2(Query{Class: ClassDefault,
+		SQL: "INSERT INTO emp (id, salary) VALUES (9, 900)", Pref: PrefNearest})
+	if ef != nil || res.Affected != 1 {
+		t.Fatalf("routed INSERT: err=%+v affected=%d", ef, res.Affected)
+	}
+	if rel, err := cluster.Primary().Relation("emp"); err != nil || rel.NumTuples() != 9 {
+		t.Fatalf("primary after INSERT: err=%v", err)
+	}
+
+	// A version-1 frame (no tail) still decodes and reads the primary.
+	beforePrimary := cluster.Metrics().PrimaryReads
+	if err := WriteFrame(conn, TQuery, EncodeQuery(Query{Class: ClassDefault, SQL: "SELECT id FROM emp"})); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		typ, _, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ == TError {
+			t.Fatal("v1 QUERY failed on cluster server")
+		}
+		if typ == TDone {
+			break
+		}
+	}
+	if got := cluster.Metrics().PrimaryReads; got <= beforePrimary {
+		t.Fatalf("v1 SELECT did not read the primary (primaryReads %d -> %d)", beforePrimary, got)
+	}
+
+	// An unknown preference byte is a protocol error.
+	if err := WriteFrame(conn, TQuery, EncodeQueryV2(Query{Class: ClassDefault, SQL: "SELECT 1", Pref: 7})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = ReadFrame(conn)
 	if err != nil || typ != TError {
-		t.Fatalf("version mismatch: type 0x%02X err %v", typ, err)
+		t.Fatalf("bad pref: type 0x%02X err %v", typ, err)
 	}
-	e, err := DecodeError(payload)
-	if err != nil || e.Code != CodeProto || !strings.Contains(e.Msg, "version") {
-		t.Fatalf("version mismatch error: %+v err %v", e, err)
-	}
-	if _, _, err := ReadFrame(conn); err == nil {
-		t.Fatal("connection stayed open after version mismatch")
+	if e, err := DecodeError(payload); err != nil || e.Code != CodeProto || !strings.Contains(e.Msg, "preference") {
+		t.Fatalf("bad pref error: %+v err %v", e, err)
 	}
 }

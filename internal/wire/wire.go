@@ -11,8 +11,14 @@ import (
 	"io"
 )
 
-// Version is the protocol version negotiated in HELLO/WELCOME.
-const Version = 1
+// Version is the newest protocol version this package speaks; the
+// HELLO/WELCOME handshake negotiates min(client, server) and both sides
+// then frame to the negotiated version. Version 2 adds the per-statement
+// read-preference tail to QUERY (docs/WIRE.md §4.2).
+const Version = 2
+
+// MinVersion is the oldest version the server still accepts in HELLO.
+const MinVersion = 1
 
 // MaxFrame bounds a frame's length prefix (type byte + payload); larger
 // frames are a protocol error and close the connection.
@@ -80,6 +86,7 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 
 func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
 func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 func appendI64(b []byte, v int64) []byte  { return binary.BigEndian.AppendUint64(b, uint64(v)) }
 
 func appendString16(b []byte, s string) []byte {
@@ -132,6 +139,16 @@ func (r *reader) u32() uint32 {
 	}
 	v := binary.BigEndian.Uint32(r.b)
 	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
 	return v
 }
 

@@ -73,9 +73,16 @@ func TestMessageRoundTrips(t *testing.T) {
 		t.Fatalf("WELCOME round trip: %+v, %v", got, err)
 	}
 
-	query := Query{Class: ClassDefault, MinPages: 8, SQL: "SELECT id FROM emp WHERE salary > 41000"}
+	// A version-1 QUERY decodes with Pref = PrefDefault (no tail).
+	query := Query{Class: ClassDefault, MinPages: 8, SQL: "SELECT id FROM emp WHERE salary > 41000", Pref: PrefDefault}
 	if got, err := DecodeQuery(EncodeQuery(query)); err != nil || got != query {
 		t.Fatalf("QUERY round trip: %+v, %v", got, err)
+	}
+
+	// The version-2 tail round-trips the read preference and LSN bound.
+	query2 := Query{Class: ClassDefault, SQL: "SELECT 1", Pref: PrefBounded, MaxLag: 1 << 40}
+	if got, err := DecodeQuery(EncodeQueryV2(query2)); err != nil || got != query2 {
+		t.Fatalf("QUERY v2 round trip: %+v, %v", got, err)
 	}
 
 	result := Result{

@@ -26,6 +26,8 @@ package mmdb
 import (
 	"context"
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -279,6 +281,18 @@ type Database struct {
 	locks  *session.LockTable
 	sorts  sortActivity
 	replay replayActivity
+
+	// Replication plumbing (cluster.go). ship, when set on a cluster
+	// primary, receives every durable mutation — in serialization order,
+	// invoked while the mutating call still holds its exclusive relation
+	// intent. readOnly marks a replica database: exclusive intents are
+	// refused at the lock layer except for the replication applier
+	// (applying set around each applied op) and session-private
+	// temporaries (registered in localRes).
+	ship     func(op shipOp)
+	readOnly bool
+	applying atomic.Bool
+	localRes sync.Map // resource id -> struct{}: replica-local relations
 }
 
 // sortActivity accumulates relation-sort telemetry across sessions (the
@@ -398,12 +412,24 @@ func (db *Database) ArmFaults(inj *FaultInjector) {
 	db.disk.SetInjector(inj)
 }
 
+// isTempRelation reports whether name is a session-private temporary
+// (the SQL layer's filtered materializations): never replicated, and
+// permitted on read-only replicas.
+func isTempRelation(name string) bool { return strings.HasPrefix(name, "sql.tmp.") }
+
 // CreateRelation registers an empty relation.
 func (db *Database) CreateRelation(name string, schema *Schema) (*Relation, error) {
+	if db.readOnly && !db.applying.Load() && !isTempRelation(name) {
+		return nil, ErrReadOnlyReplica
+	}
 	r, err := db.cat.Create(name, schema)
 	if err != nil {
 		return nil, err
 	}
+	if db.readOnly && !db.applying.Load() {
+		db.localRes.Store(catalog.ResourceID(name), struct{}{})
+	}
+	db.shipOp(shipOp{kind: opCreateRelation, rel: name, schema: schema})
 	return &Relation{db: db, rel: r}, nil
 }
 
@@ -427,17 +453,42 @@ func (db *Database) DropRelation(name string) error {
 		return err
 	}
 	defer unlock()
-	return db.cat.Drop(name)
+	if err := db.cat.Drop(name); err != nil {
+		return err
+	}
+	// Ship before forgetting the local marker: drops of local-only
+	// relations (temporaries, adopted files) must not reach replicas.
+	db.shipOp(shipOp{kind: opDropRelation, rel: name})
+	db.localRes.Delete(catalog.ResourceID(name))
+	return nil
 }
 
-// adoptFile registers an internally produced heap file (for tests and the
-// workload generators).
+// adoptFile registers an internally produced heap file (for tests, the
+// workload generators, and planner outputs). Adopted files are always
+// database-local: they never replicate — a cluster primary's planner
+// temporaries don't exist on replicas, so their mutations and drops must
+// not ship — and on a replica they mark relations the producing session
+// may mutate and drop despite the read-only guard.
 func (db *Database) adoptFile(f *heap.File) (*Relation, error) {
 	r, err := db.cat.Adopt(f)
 	if err != nil {
 		return nil, err
 	}
+	db.localRes.Store(catalog.ResourceID(r.Name), struct{}{})
 	return &Relation{db: db, rel: r}, nil
+}
+
+// shipOp forwards a mutation to the cluster ship hook, if any. Temporaries
+// and local (adopted) relations stay local: every database — primary or
+// replica — materializes its own.
+func (db *Database) shipOp(op shipOp) {
+	if db.ship == nil || isTempRelation(op.rel) {
+		return
+	}
+	if _, ok := db.localRes.Load(catalog.ResourceID(op.rel)); ok {
+		return
+	}
+	db.ship(op)
 }
 
 // lockRelations takes a one-shot relation-level intent lock on every named

@@ -76,19 +76,20 @@ func (db *Database) withSession(ctx context.Context, fn func(s *Session) error, 
 // emit (pass nil to count only). The smaller relation is used as the build
 // side automatically. Thin wrapper over JoinContext with a background
 // context.
-func (db *Database) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple)) (JoinResult, error) {
-	return db.JoinContext(context.Background(), algorithm, left, right, leftCol, rightCol, emit)
+func (db *Database) Join(algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple), opts ...SessionOption) (JoinResult, error) {
+	return db.JoinContext(context.Background(), algorithm, left, right, leftCol, rightCol, emit, opts...)
 }
 
 // JoinContext is the context-first Join: ctx governs admission queueing,
-// lock waits and the per-query deadline.
-func (db *Database) JoinContext(ctx context.Context, algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple)) (JoinResult, error) {
+// lock waits and the per-query deadline; opts set the one-shot session's
+// admission class, memory grant, retry budget and read preference.
+func (db *Database) JoinContext(ctx context.Context, algorithm JoinAlgorithm, left, right, leftCol, rightCol string, emit func(l, r Tuple), opts ...SessionOption) (JoinResult, error) {
 	var res JoinResult
 	err := db.withSession(ctx, func(s *Session) error {
 		var err error
 		res, err = s.Join(algorithm, left, right, leftCol, rightCol, emit)
 		return err
-	})
+	}, opts...)
 	return res, err
 }
 
@@ -122,19 +123,20 @@ func (g GroupRow) Value(f AggFunc) float64 {
 // column, grouped by groupCol, using the §3.9 one-pass hashing algorithm
 // (spilling hybrid-style if the result exceeds memory). Thin wrapper
 // over AggregateContext with a background context.
-func (db *Database) Aggregate(relation, groupCol, valueCol string) ([]GroupRow, error) {
-	return db.AggregateContext(context.Background(), relation, groupCol, valueCol)
+func (db *Database) Aggregate(relation, groupCol, valueCol string, opts ...SessionOption) ([]GroupRow, error) {
+	return db.AggregateContext(context.Background(), relation, groupCol, valueCol, opts...)
 }
 
 // AggregateContext is the context-first Aggregate: ctx governs admission
-// queueing, lock waits and the per-query deadline.
-func (db *Database) AggregateContext(ctx context.Context, relation, groupCol, valueCol string) ([]GroupRow, error) {
+// queueing, lock waits and the per-query deadline; opts configure the
+// one-shot session.
+func (db *Database) AggregateContext(ctx context.Context, relation, groupCol, valueCol string, opts ...SessionOption) ([]GroupRow, error) {
 	var out []GroupRow
 	err := db.withSession(ctx, func(s *Session) error {
 		var err error
 		out, err = s.Aggregate(relation, groupCol, valueCol)
 		return err
-	})
+	}, opts...)
 	return out, err
 }
 
@@ -143,16 +145,17 @@ func (db *Database) AggregateContext(ctx context.Context, relation, groupCol, va
 // an n-way merge) within the database's memory budget. Run IO is charged
 // on the virtual clock exactly as in the sort-merge join. Thin wrapper
 // over OrderByContext with a background context.
-func (db *Database) OrderBy(relation, column string, fn func(Tuple) bool) error {
-	return db.OrderByContext(context.Background(), relation, column, fn)
+func (db *Database) OrderBy(relation, column string, fn func(Tuple) bool, opts ...SessionOption) error {
+	return db.OrderByContext(context.Background(), relation, column, fn, opts...)
 }
 
 // OrderByContext is the context-first OrderBy: ctx governs admission
-// queueing, lock waits and the per-query deadline.
-func (db *Database) OrderByContext(ctx context.Context, relation, column string, fn func(Tuple) bool) error {
+// queueing, lock waits and the per-query deadline; opts configure the
+// one-shot session.
+func (db *Database) OrderByContext(ctx context.Context, relation, column string, fn func(Tuple) bool, opts ...SessionOption) error {
 	return db.withSession(ctx, func(s *Session) error {
 		return s.OrderBy(relation, column, fn)
-	})
+	}, opts...)
 }
 
 var orderBySeq atomic.Uint64
@@ -160,18 +163,19 @@ var orderBySeq atomic.Uint64
 // Distinct returns the distinct values of a column (§3.9 projection with
 // duplicate elimination). Thin wrapper over DistinctContext with a
 // background context.
-func (db *Database) Distinct(relation, column string) ([]Value, error) {
-	return db.DistinctContext(context.Background(), relation, column)
+func (db *Database) Distinct(relation, column string, opts ...SessionOption) ([]Value, error) {
+	return db.DistinctContext(context.Background(), relation, column, opts...)
 }
 
 // DistinctContext is the context-first Distinct: ctx governs admission
-// queueing, lock waits and the per-query deadline.
-func (db *Database) DistinctContext(ctx context.Context, relation, column string) ([]Value, error) {
+// queueing, lock waits and the per-query deadline; opts configure the
+// one-shot session.
+func (db *Database) DistinctContext(ctx context.Context, relation, column string, opts ...SessionOption) ([]Value, error) {
 	var out []Value
 	err := db.withSession(ctx, func(s *Session) error {
 		var err error
 		out, err = s.Distinct(relation, column)
 		return err
-	})
+	}, opts...)
 	return out, err
 }

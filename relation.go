@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mmdb/internal/catalog"
+	"mmdb/internal/expr"
 	"mmdb/internal/lock"
 	"mmdb/internal/simio"
 	"mmdb/internal/tuple"
@@ -72,6 +73,9 @@ func (r *Relation) InsertTuple(t Tuple) error {
 			ix, _ := r.rel.Index(col)
 			ix.Insert(schema.KeyBytes(t, col), t.Clone())
 		}
+		// Ship inside the intent so replication order is the primary's
+		// serialization order (likewise in every mutation below).
+		r.db.shipOp(shipOp{kind: opInsert, rel: r.Name(), tuple: t.Clone()})
 		return nil
 	})
 }
@@ -79,7 +83,11 @@ func (r *Relation) InsertTuple(t Tuple) error {
 // Flush writes any buffered partial page.
 func (r *Relation) Flush() error {
 	return r.withIntent(lock.Exclusive, func() error {
-		return r.rel.File.Flush(simio.Uncharged)
+		if err := r.rel.File.Flush(simio.Uncharged); err != nil {
+			return err
+		}
+		r.db.shipOp(shipOp{kind: opFlush, rel: r.Name()})
+		return nil
 	})
 }
 
@@ -98,8 +106,11 @@ func (r *Relation) CreateIndex(column string, kind IndexKind) error {
 		return fmt.Errorf("mmdb: relation %q has no column %q", r.Name(), column)
 	}
 	return r.withIntent(lock.Exclusive, func() error {
-		_, err := r.db.cat.BuildIndex(r.Name(), col, kind)
-		return err
+		if _, err := r.db.cat.BuildIndex(r.Name(), col, kind); err != nil {
+			return err
+		}
+		r.db.shipOp(shipOp{kind: opIndex, rel: r.Name(), column: column, ixKind: kind})
+		return nil
 	})
 }
 
@@ -164,8 +175,11 @@ func (r *Relation) Delete(column string, v Value) (int64, error) {
 			return err
 		}
 		if removed > 0 {
-			return r.rebuildIndexes()
+			if err := r.rebuildIndexes(); err != nil {
+				return err
+			}
 		}
+		r.db.shipOp(shipOp{kind: opDelete, rel: r.Name(), column: column, value: v})
 		return nil
 	})
 	return removed, err
@@ -197,8 +211,15 @@ func (r *Relation) DeleteWhere(p *Pred) (int64, error) {
 			return err
 		}
 		if removed > 0 {
-			return r.rebuildIndexes()
+			if err := r.rebuildIndexes(); err != nil {
+				return err
+			}
 		}
+		var inner expr.Predicate
+		if p != nil {
+			inner = p.inner
+		}
+		r.db.shipOp(shipOp{kind: opDeleteWhere, rel: r.Name(), pred: inner})
 		return nil
 	})
 	return removed, err
@@ -240,8 +261,15 @@ func (r *Relation) Update(column string, v Value, setColumn string, newVal Value
 			return err
 		}
 		if changed > 0 {
-			return r.rebuildIndexes()
+			if err := r.rebuildIndexes(); err != nil {
+				return err
+			}
 		}
+		r.db.shipOp(shipOp{
+			kind: opUpdate, rel: r.Name(),
+			column: column, value: v,
+			setColumn: setColumn, newValue: newVal,
+		})
 		return nil
 	})
 	return changed, err

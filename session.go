@@ -63,10 +63,7 @@ type Session struct {
 //
 // Close must be called when the session's queries are done.
 func (db *Database) NewSession(ctx context.Context, opts ...SessionOption) (*Session, error) {
-	cfg := defaultSessionConfig()
-	for _, opt := range opts {
-		opt(&cfg)
-	}
+	cfg := resolveSessionConfig(opts)
 	var cancel context.CancelFunc
 	if db.opts.QueryTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {

@@ -11,10 +11,24 @@ type sessionConfig struct {
 	class    QueryClass
 	minPages int
 	retries  int
+	readPref ReadPreference
 }
 
 func defaultSessionConfig() sessionConfig {
 	return sessionConfig{class: Batch}
+}
+
+// resolveSessionConfig folds opts over the default config: the one
+// resolution path shared by Database.NewSession and the Cluster's read
+// routing, so an option means the same thing everywhere it can appear —
+// NewSession, one-shot query methods, and the wire protocol's
+// per-statement options.
+func resolveSessionConfig(opts []SessionOption) sessionConfig {
+	cfg := defaultSessionConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
 }
 
 // WithClass admits the session under the given priority class.
@@ -56,5 +70,19 @@ func WithRetry(n int) SessionOption {
 		if n > 0 {
 			cfg.retries = n
 		}
+	}
+}
+
+// WithReadPreference routes the session's (or one-shot query's) reads
+// when the receiver is a Cluster: NearestReplica prefers the most
+// caught-up replica, BoundedStaleness any replica within its LSN-lag
+// bound, and the default (PrimaryOnly) pins reads to the primary.
+// Routing never fails — when no replica qualifies, the primary answers.
+// On a plain Database the option is accepted and ignored, so code can
+// pass it unconditionally and behave identically over both handles; the
+// wire protocol carries the same preference per statement (docs/WIRE.md).
+func WithReadPreference(p ReadPreference) SessionOption {
+	return func(cfg *sessionConfig) {
+		cfg.readPref = p
 	}
 }

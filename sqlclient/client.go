@@ -21,6 +21,8 @@ type Option func(*config)
 type config struct {
 	class    mmdb.QueryClass
 	minPages uint32
+	pref     mmdb.ReadPreference
+	prefSet  bool
 }
 
 // WithClass sets the connection's default query class (every statement
@@ -32,6 +34,15 @@ func WithClass(c mmdb.QueryClass) Option { return func(cfg *config) { cfg.class 
 // pages (mmdb.WithMinPages on each server-side session). 0 keeps the
 // broker's policy default.
 func WithMinPages(n int) Option { return func(cfg *config) { cfg.minPages = uint32(n) } }
+
+// WithReadPreference sets the connection's default read preference:
+// every statement carries it (QueryPref overrides per statement), and a
+// cluster-backed server routes SELECTs by it — mmdb.WithReadPreference
+// over the wire. Requires a server speaking protocol version >= 2;
+// statements fail with an explanatory error on older servers.
+func WithReadPreference(p mmdb.ReadPreference) Option {
+	return func(cfg *config) { cfg.pref = p; cfg.prefSet = true }
+}
 
 // Col describes one result column.
 type Col struct {
@@ -67,9 +78,10 @@ func (e *ServerError) Error() string { return fmt.Sprintf("wire: server error %d
 // protocol runs one statement at a time per connection — open more
 // connections for concurrency, as mmdbench -exp wire does.
 type Client struct {
-	conn   net.Conn
-	cfg    config
-	server string
+	conn    net.Conn
+	cfg     config
+	server  string
+	version byte // negotiated protocol version from WELCOME
 }
 
 // Dial connects and performs the HELLO/WELCOME handshake.
@@ -104,7 +116,12 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 			conn.Close()
 			return nil, err
 		}
+		if w.Version < wire.MinVersion || w.Version > wire.Version {
+			conn.Close()
+			return nil, fmt.Errorf("sqlclient: server negotiated unsupported protocol version %d", w.Version)
+		}
 		c.server = w.Server
+		c.version = w.Version
 		return c, nil
 	case wire.TError:
 		e, derr := wire.DecodeError(payload)
@@ -121,6 +138,9 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 
 // Server returns the server name announced in WELCOME.
 func (c *Client) Server() string { return c.server }
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() int { return int(c.version) }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -140,20 +160,39 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// Query runs one statement under the connection's default class.
+// Query runs one statement under the connection's default class and
+// read preference.
 func (c *Client) Query(sql string) (*Result, error) {
-	return c.query(wire.Query{Class: wire.ClassDefault, SQL: sql})
+	return c.query(wire.Query{Class: wire.ClassDefault, SQL: sql}, c.cfg.pref, c.cfg.prefSet)
 }
 
 // QueryClass runs one statement under an explicit class and minimum
 // memory grant (0 = connection default), the wire path for the
 // engine's WithClass/WithMinPages session options.
 func (c *Client) QueryClass(sql string, class mmdb.QueryClass, minPages int) (*Result, error) {
-	return c.query(wire.Query{Class: byte(class), MinPages: uint32(minPages), SQL: sql})
+	return c.query(wire.Query{Class: byte(class), MinPages: uint32(minPages), SQL: sql}, c.cfg.pref, c.cfg.prefSet)
 }
 
-func (c *Client) query(q wire.Query) (*Result, error) {
-	if err := wire.WriteFrame(c.conn, wire.TQuery, wire.EncodeQuery(q)); err != nil {
+// QueryPref runs one statement under an explicit read preference,
+// overriding the connection default: the wire path for the engine's
+// WithReadPreference session option. Requires negotiated protocol
+// version >= 2.
+func (c *Client) QueryPref(sql string, pref mmdb.ReadPreference) (*Result, error) {
+	return c.query(wire.Query{Class: wire.ClassDefault, SQL: sql}, pref, true)
+}
+
+func (c *Client) query(q wire.Query, pref mmdb.ReadPreference, prefSet bool) (*Result, error) {
+	q.Pref = wire.PrefDefault
+	payload := wire.EncodeQuery(q)
+	if prefSet {
+		if c.version < 2 {
+			return nil, fmt.Errorf("sqlclient: read preferences need protocol version 2; server negotiated %d", c.version)
+		}
+		q.Pref = byte(pref.Mode)
+		q.MaxLag = pref.MaxLSNLag
+		payload = wire.EncodeQueryV2(q)
+	}
+	if err := wire.WriteFrame(c.conn, wire.TQuery, payload); err != nil {
 		return nil, err
 	}
 	typ, payload, err := wire.ReadFrame(c.conn)

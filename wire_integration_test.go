@@ -14,6 +14,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"mmdb"
 	"mmdb/internal/wire"
@@ -254,5 +255,97 @@ func TestWireStatementErrors(t *testing.T) {
 	res, err := cl.Query("SELECT id FROM emp WHERE id = 1")
 	if err != nil || len(res.Rows) != 1 {
 		t.Fatalf("after failures: %v, %d rows", err, len(res.Rows))
+	}
+}
+
+// TestWireReplReadPreference checks the v2 read-preference path end to
+// end through sqlclient: the negotiated version is 2, a connection
+// default of NearestReplica sends SELECTs to a replica, QueryPref
+// overrides per statement, and the rows match the primary's answer.
+func TestWireReplReadPreference(t *testing.T) {
+	cluster, err := mmdb.OpenCluster(mmdb.Options{MemoryPages: 64, MaxConcurrentQueries: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	emp, err := cluster.Primary().CreateRelation("emp", mmdb.MustSchema(
+		mmdb.Field{Name: "id", Kind: mmdb.Int64},
+		mmdb.Field{Name: "salary", Kind: mmdb.Int64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := emp.Insert(mmdb.IntValue(int64(i+1)), mmdb.IntValue(int64(100*(i+1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := emp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cluster.WaitCaughtUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := &wire.Server{Cluster: cluster, Name: "mmdb cluster"}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+
+	direct, err := cluster.Primary().Query("SELECT id FROM emp WHERE salary >= 500 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := sqlclient.Dial(addr.String(), sqlclient.WithReadPreference(mmdb.NearestReplica()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Version() != 2 {
+		t.Fatalf("negotiated version %d, want 2", cl.Version())
+	}
+
+	before := cluster.Metrics().ReplicaReads
+	res, err := cl.Query("SELECT id FROM emp WHERE salary >= 500 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows, direct.Values()) {
+		t.Fatalf("replica rows diverge:\n wire   %v\n direct %v", res.Rows, direct.Values())
+	}
+	if got := cluster.Metrics().ReplicaReads; got <= before {
+		t.Fatalf("nearest-replica SELECT did not read a replica (%d -> %d)", before, got)
+	}
+
+	// Per-statement override: pin one statement to the primary.
+	beforePrimary := cluster.Metrics().PrimaryReads
+	if _, err := cl.QueryPref("SELECT id FROM emp", mmdb.PrimaryOnly()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cluster.Metrics().PrimaryReads; got <= beforePrimary {
+		t.Fatalf("PrimaryOnly override did not read the primary (%d -> %d)", beforePrimary, got)
+	}
+
+	// Bounded staleness with a huge bound is satisfiable by a replica.
+	if _, err := cl.QueryPref("SELECT id FROM emp", mmdb.BoundedStaleness(1<<50)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes carry the preference but always land on the primary, and the
+	// replicas converge on the result.
+	if _, err := cl.Query("INSERT INTO emp (id, salary) VALUES (13, 1300)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WaitCaughtUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.VerifyReplicas(); err != nil {
+		t.Fatal(err)
 	}
 }
