@@ -5,12 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mmdb/internal/catalog"
 	"mmdb/internal/expr"
+	"mmdb/internal/lock"
 	"mmdb/internal/simio"
 	sqlfront "mmdb/internal/sql"
 )
@@ -19,6 +21,53 @@ import (
 // replicas refuse exclusive relation intents at the lock layer, except for
 // the replication applier itself and session-private temporaries.
 var ErrReadOnlyReplica = errors.New("mmdb: database is a read-only replica")
+
+// ErrNotPrimary is the errors.Is sentinel for writes refused because the
+// node is not the cluster's current primary (a replica, a fenced primary
+// mid-promotion, or a demoted/crashed old primary). The concrete error is
+// a *NotPrimaryError carrying the epoch and the current primary's name.
+var ErrNotPrimary = errors.New("mmdb: not the primary")
+
+// NotPrimaryError is the concrete write refusal on a clustered database
+// that is not (or no longer) the primary. Epoch is the cluster epoch at
+// refusal time — it increases at every promotion, so a client comparing
+// epochs can tell a stale hint from a fresh one — and Hint names the node
+// that was primary at that epoch. It matches both ErrNotPrimary and
+// ErrReadOnlyReplica via errors.Is, so pre-failover replica code keeps
+// working.
+type NotPrimaryError struct {
+	Epoch uint64
+	Hint  string // node name of the current primary
+}
+
+func (e *NotPrimaryError) Error() string {
+	return fmt.Sprintf("mmdb: not the primary (epoch %d, primary is %q)", e.Epoch, e.Hint)
+}
+
+// Is matches the ErrNotPrimary sentinel and, for compatibility, the older
+// ErrReadOnlyReplica sentinel.
+func (e *NotPrimaryError) Is(target error) bool {
+	return target == ErrNotPrimary || target == ErrReadOnlyReplica
+}
+
+// LostTailError reports the acknowledged-but-unreplicated tail a lossy
+// failover gave up: the old primary's WAL is gone and no surviving
+// replica had applied past SettledLSN, so the acked writes in
+// (SettledLSN, AckedLSN] are lost. FailoverLostWAL still completes the
+// promotion — availability with an honest, typed admission of the loss.
+type LostTailError struct {
+	Epoch      uint64 // epoch of the new primary
+	AckedLSN   uint64 // last LSN the old primary acknowledged
+	SettledLSN uint64 // the surviving prefix the new primary starts from
+}
+
+func (e *LostTailError) Error() string {
+	return fmt.Sprintf("mmdb: failover lost %d acked writes (settled LSN %d of %d, epoch %d)",
+		e.Lost(), e.SettledLSN, e.AckedLSN, e.Epoch)
+}
+
+// Lost returns the number of acked operations the failover dropped.
+func (e *LostTailError) Lost() uint64 { return e.AckedLSN - e.SettledLSN }
 
 // shipOpKind enumerates the replicated mutations. Everything a primary
 // does to durable relations reduces to these eight logical operations;
@@ -40,9 +89,13 @@ const (
 
 // shipOp is one logical mutation in the primary's serialization order.
 // lsn is the cluster log sequence number the op was assigned at enqueue;
-// replicas publish it as their applied horizon once the op lands.
+// replicas publish it as their applied horizon once the op lands. epoch
+// records which primary produced it: after a lossy failover, stale ops
+// above the old epoch's cut LSN are superseded history and appliers
+// discard them instead of diverging.
 type shipOp struct {
 	lsn       uint64
+	epoch     uint64
 	kind      shipOpKind
 	rel       string
 	tuple     Tuple
@@ -103,6 +156,10 @@ const (
 	shipRetryBackoff = 50 * time.Microsecond
 )
 
+// pendingRetain bounds how many settled ops the pending tail keeps beyond
+// the slowest replica before trimming (amortizes the copy).
+const pendingRetain = 1024
+
 // clusterReplica is one replica database plus its ship link: a FIFO op
 // channel drained by a single applier goroutine, so each replica applies
 // the primary's mutations in serialization order.
@@ -110,13 +167,36 @@ type clusterReplica struct {
 	name string
 	db   *Database
 	ch   chan shipOp
+	done chan struct{} // closed when the applier goroutine exits
+
+	// Rejoin gating: the applier parks on ready (when non-nil) until the
+	// snapshot copy is in place, then skips ops the snapshot already
+	// contains — ops at or below floor touching a snapshot relation.
+	ready chan struct{}
+	snap  map[string]bool // written before close(ready)
+	floor atomic.Uint64
 
 	applied    atomic.Uint64 // cluster LSN of the last applied op
 	ops        atomic.Uint64 // ops applied
 	transients atomic.Uint64 // transient link faults absorbed
 	stalls     atomic.Uint64 // injected stall units served
 	broken     atomic.Bool   // severed: permanent fault or apply error
+	joining    atomic.Bool   // mid-rejoin: not routable, not yet consistent
+	expedite   atomic.Bool   // failover drain: bypass the link fault schedule
 	lastErr    atomic.Pointer[string]
+}
+
+// primaryRef names the current primary; swapped atomically at promotion.
+type primaryRef struct {
+	db   *Database
+	name string
+}
+
+// downNode is a demoted-and-not-yet-rejoined old primary after a
+// crash-driven failover.
+type downNode struct {
+	name string
+	db   *Database
 }
 
 // Cluster is a primary database plus N read-only replicas fed by logical
@@ -130,16 +210,37 @@ type clusterReplica struct {
 // still in its link — so reads on replicas are snapshot-stale by up to
 // that lag. BoundedStaleness bounds it; a stalled or severed link simply
 // degrades reads to the primary, never into a client-visible error.
+//
+// The primary role is not fixed: Promote switches it over cleanly (zero
+// loss by construction), Failover recovers from primary loss using the
+// retained pending tail (the primary's durable WAL tail) so no acked
+// write is lost while that tail survives, and FailoverLostWAL models
+// total primary loss, surfacing the dropped tail as a *LostTailError.
+// Every role change increments the cluster epoch.
 type Cluster struct {
-	primary  *Database
-	replicas []*clusterReplica
+	prim atomic.Pointer[primaryRef]
+	reps atomic.Pointer[[]*clusterReplica] // copy-on-write under mu
 
-	mu     sync.Mutex // orders enqueue: LSN assignment + fan-out
-	seq    uint64     // last assigned cluster LSN (under mu)
-	closed bool
+	mu        sync.Mutex // orders enqueue: LSN assignment + fan-out; guards seq/pending/role flips
+	seq       uint64     // last assigned cluster LSN (under mu)
+	closed    bool
+	switching bool // one Promote/Failover/Rejoin at a time
+	fenced    bool // crash fence: enqueue refuses (failover in progress)
 
-	lsn      atomic.Uint64 // mirror of seq for lock-free routing reads
-	rr       atomic.Uint64 // round-robin cursor for replica ties
+	// pending retains the ship ops above every replica's applied horizon:
+	// the in-memory model of the primary's durable WAL tail. Failover
+	// replays it into the survivor, which is what makes crash promotion
+	// lossless while the old primary's log survives. pendingBase is the
+	// LSN of the op before pending[0].
+	pending     []shipOp
+	pendingBase uint64
+
+	epoch    atomic.Uint64            // current cluster epoch (starts at 1)
+	cuts     atomic.Pointer[[]uint64] // cuts[e-1] = highest LSN an epoch-e op may apply
+	lsn      atomic.Uint64            // mirror of seq for lock-free routing reads
+	rr       atomic.Uint64            // round-robin cursor for replica ties
+	down     atomic.Pointer[downNode] // crashed old primary awaiting Rejoin
+	stop     chan struct{}            // closed in Close: interrupts stalled links
 	injector atomic.Pointer[FaultInjector]
 
 	wg sync.WaitGroup
@@ -149,13 +250,20 @@ type Cluster struct {
 	replicaReads atomic.Uint64 // reads routed to a replica
 	fallbacks    atomic.Uint64 // reads that wanted a replica but degraded
 	writes       atomic.Uint64 // statements classified as writes/DML
+
+	// Failover telemetry.
+	promotions    atomic.Uint64 // planned switchovers completed
+	failovers     atomic.Uint64 // crash-driven promotions completed
+	tailRecovered atomic.Uint64 // acked ops replayed into a survivor from the pending tail
+	tailLost      atomic.Uint64 // acked ops dropped by FailoverLostWAL
 }
 
 // OpenCluster opens a primary database plus replicas read-only copies
 // wired to it by logical operation shipping. All databases share the
 // same Options (each with its own scheduler, broker, lock table and
 // virtual clock). Replicas start empty, exactly like the primary; load
-// data through the primary and it flows to every replica.
+// data through the primary and it flows to every replica. The primary
+// node is named "p", replicas "r0".."rN-1".
 func OpenCluster(primary Options, replicas int) (*Cluster, error) {
 	if replicas < 0 {
 		return nil, fmt.Errorf("mmdb: negative replica count %d", replicas)
@@ -164,33 +272,45 @@ func OpenCluster(primary Options, replicas int) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{primary: pdb}
+	c := &Cluster{stop: make(chan struct{})}
+	c.epoch.Store(1)
+	cuts := []uint64{math.MaxUint64}
+	c.cuts.Store(&cuts)
+	c.prim.Store(&primaryRef{db: pdb, name: "p"})
+	pdb.cluster = c
+	var reps []*clusterReplica
 	for i := 0; i < replicas; i++ {
 		rdb, err := Open(primary)
 		if err != nil {
 			return nil, err
 		}
-		rdb.readOnly = true
-		rdb.locks.SetExclusiveGuard(replicaGuard(rdb))
+		rdb.cluster = c
+		rdb.readOnly.Store(true)
+		rdb.locks.SetExclusiveGuard(writeGuard(rdb))
 		r := &clusterReplica{
 			name: fmt.Sprintf("r%d", i),
 			db:   rdb,
 			ch:   make(chan shipOp, 1024),
+			done: make(chan struct{}),
 		}
-		c.replicas = append(c.replicas, r)
+		reps = append(reps, r)
 		c.wg.Add(1)
 		go c.runApplier(r)
 	}
-	pdb.ship = c.enqueue
+	c.reps.Store(&reps)
+	fn := c.shipFrom(1)
+	pdb.ship.Store(&fn)
 	return c, nil
 }
 
-// replicaGuard is the replica's write-admission hook, consulted by the
-// lock table on every exclusive intent: the replication applier passes
-// (applying is set around each applied op), session-private relations
-// pass (temporaries and adopted planner outputs, registered in
-// localRes), everything else is a client write and is refused.
-func replicaGuard(db *Database) func(res uint64) error {
+// writeGuard is the write-admission hook for a database that is not the
+// primary (a replica, or a primary being fenced for switchover),
+// consulted by the lock table on every exclusive intent: the replication
+// applier passes (applying is set around each applied op),
+// session-private relations pass (temporaries and adopted planner
+// outputs, registered in localRes), everything else is a client write and
+// is refused with the cluster's typed not-primary error.
+func writeGuard(db *Database) func(res uint64) error {
 	return func(res uint64) error {
 		if db.applying.Load() {
 			return nil
@@ -198,8 +318,23 @@ func replicaGuard(db *Database) func(res uint64) error {
 		if _, ok := db.localRes.Load(res); ok {
 			return nil
 		}
-		return ErrReadOnlyReplica
+		return db.writeRefused()
 	}
+}
+
+// notPrimaryErr builds the typed refusal carrying the current epoch and
+// primary name.
+func (c *Cluster) notPrimaryErr() error {
+	p := c.prim.Load()
+	return &NotPrimaryError{Epoch: c.epoch.Load(), Hint: p.name}
+}
+
+// shipFrom returns the ship hook for a primary of the given epoch. The
+// epoch is captured so a demoted primary's in-flight writers — holding a
+// stale hook pointer — are refused at enqueue instead of corrupting the
+// new epoch's history.
+func (c *Cluster) shipFrom(epoch uint64) shipFn {
+	return func(op shipOp) error { return c.enqueue(epoch, op) }
 }
 
 // enqueue assigns the next cluster LSN and fans the op out to every
@@ -208,17 +343,29 @@ func replicaGuard(db *Database) func(res uint64) error {
 // exclusive relation intent is still held — ship order is therefore
 // exactly the primary's serialization order. Channel sends block when a
 // link's buffer is full (backpressure), but the appliers always drain,
-// even severed links (discarding), so enqueue cannot wedge.
-func (c *Cluster) enqueue(op shipOp) {
+// even severed links (discarding), so enqueue cannot wedge. The op is
+// also retained in the pending tail (the durable-WAL model Failover
+// replays from).
+func (c *Cluster) enqueue(epoch uint64, op shipOp) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return
+		return nil
+	}
+	if c.fenced || epoch != c.epoch.Load() {
+		return c.notPrimaryErr()
 	}
 	c.seq++
 	op.lsn = c.seq
+	op.epoch = epoch
 	c.lsn.Store(c.seq)
-	for _, r := range c.replicas {
+	keep := op
+	if op.tuple != nil {
+		keep.tuple = op.tuple.Clone()
+	}
+	c.pending = append(c.pending, keep)
+	c.trimPendingLocked()
+	for _, r := range *c.reps.Load() {
 		ro := op
 		if op.tuple != nil {
 			// Each replica retains its copy in its own heap file.
@@ -226,17 +373,67 @@ func (c *Cluster) enqueue(op shipOp) {
 		}
 		r.ch <- ro
 	}
+	return nil
+}
+
+// trimPendingLocked drops pending ops every replica has already applied,
+// keeping a slack of pendingRetain before copying. Broken replicas still
+// pin the tail — that retention is exactly what lets Failover resurrect a
+// severed survivor without loss. Joining replicas don't pin it (their
+// snapshot covers the floor). Callers hold c.mu.
+func (c *Cluster) trimPendingLocked() {
+	if len(c.pending) <= pendingRetain {
+		return
+	}
+	floor := c.seq
+	for _, r := range *c.reps.Load() {
+		if r.joining.Load() {
+			continue
+		}
+		if a := r.applied.Load(); a < floor {
+			floor = a
+		}
+	}
+	if floor <= c.pendingBase {
+		return
+	}
+	drop := int(floor - c.pendingBase)
+	if drop > len(c.pending) {
+		drop = len(c.pending)
+	}
+	c.pending = append([]shipOp(nil), c.pending[drop:]...)
+	c.pendingBase += uint64(drop)
 }
 
 // runApplier drains one replica's link: consult the fault schedule,
 // apply, publish the new horizon. A permanent link fault or an apply
 // error severs the link — the replica freezes at a consistent prefix and
 // the goroutine keeps draining (discarding) so enqueue never blocks on a
-// dead link.
+// dead link. A rejoining replica's applier first parks until its
+// snapshot is installed, then skips ops the snapshot already contains.
+// Ops from a superseded epoch above that epoch's cut are discarded: they
+// are the lost tail of a failed-over primary, not history.
 func (c *Cluster) runApplier(r *clusterReplica) {
 	defer c.wg.Done()
+	defer close(r.done)
+	if r.ready != nil {
+		select {
+		case <-r.ready:
+		case <-c.stop:
+			r.broken.Store(true)
+		}
+	}
 	for op := range r.ch {
 		if r.broken.Load() {
+			continue
+		}
+		if op.lsn <= r.floor.Load() && r.snap[op.rel] {
+			if op.lsn > r.applied.Load() {
+				r.applied.Store(op.lsn)
+			}
+			continue
+		}
+		if cuts := *c.cuts.Load(); op.epoch >= 1 && op.epoch <= uint64(len(cuts)) && op.lsn > cuts[op.epoch-1] {
 			continue
 		}
 		if !c.admitOp(r) {
@@ -248,7 +445,9 @@ func (c *Cluster) runApplier(r *clusterReplica) {
 			r.broken.Store(true)
 			continue
 		}
-		r.applied.Store(op.lsn)
+		if op.lsn > r.applied.Load() {
+			r.applied.Store(op.lsn)
+		}
 		r.ops.Add(1)
 	}
 }
@@ -257,17 +456,24 @@ func (c *Cluster) runApplier(r *clusterReplica) {
 // replica's link (scope "repl/ship/<name>"). Transient faults retry
 // after a short backoff — the stream may not skip an op, or the replica
 // would diverge. Stalls sleep, creating real staleness. Permanent faults
-// sever the link.
+// sever the link. An expedited link (failover drain: the source is
+// already dead, so its fault schedule is void) bypasses the injector;
+// a cluster shutdown interrupts any sleep and severs the link.
 func (c *Cluster) admitOp(r *clusterReplica) bool {
 	inj := c.injector.Load()
-	if inj == nil {
+	if inj == nil || r.expedite.Load() {
 		return true
 	}
 	for {
 		out := inj.ChargedIO("repl/ship/"+r.name, simio.Seq)
 		if out.Stall > 0 {
 			r.stalls.Add(uint64(out.Stall))
-			time.Sleep(time.Duration(out.Stall) * shipStallUnit)
+			select {
+			case <-time.After(time.Duration(out.Stall) * shipStallUnit):
+			case <-c.stop:
+				r.broken.Store(true)
+				return false
+			}
 		}
 		if out.Err == nil {
 			return true
@@ -279,7 +485,15 @@ func (c *Cluster) admitOp(r *clusterReplica) bool {
 			return false
 		}
 		r.transients.Add(1)
-		time.Sleep(shipRetryBackoff)
+		select {
+		case <-time.After(shipRetryBackoff):
+		case <-c.stop:
+			r.broken.Store(true)
+			return false
+		}
+		if r.expedite.Load() {
+			return true
+		}
 	}
 }
 
@@ -326,15 +540,54 @@ func (r *clusterReplica) apply(op shipOp) error {
 	return fmt.Errorf("mmdb: unknown ship op kind %d", op.kind)
 }
 
-// Primary returns the cluster's writable database.
-func (c *Cluster) Primary() *Database { return c.primary }
+// Primary returns the cluster's current writable database.
+func (c *Cluster) Primary() *Database { return c.prim.Load().db }
+
+// PrimaryName returns the current primary's node name ("p" at open;
+// a replica's name after it is promoted).
+func (c *Cluster) PrimaryName() string { return c.prim.Load().name }
+
+// Epoch returns the cluster epoch: 1 at open, incremented by every
+// Promote and Failover. Clients compare epochs to order role information.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// IsPrimary reports whether the named node is the current primary.
+func (c *Cluster) IsPrimary(name string) bool { return c.prim.Load().name == name }
+
+// DatabaseOf returns the database serving the named node, or nil: the
+// primary, any replica (live, joining or broken), or the down node.
+func (c *Cluster) DatabaseOf(name string) *Database {
+	if p := c.prim.Load(); p.name == name {
+		return p.db
+	}
+	for _, r := range *c.reps.Load() {
+		if r.name == name {
+			return r.db
+		}
+	}
+	if d := c.down.Load(); d != nil && d.name == name {
+		return d.db
+	}
+	return nil
+}
+
+// DownNode returns the name of the crashed old primary awaiting Rejoin,
+// or "" when none is down.
+func (c *Cluster) DownNode() string {
+	if d := c.down.Load(); d != nil {
+		return d.name
+	}
+	return ""
+}
 
 // NumReplicas returns the replica count.
-func (c *Cluster) NumReplicas() int { return len(c.replicas) }
+func (c *Cluster) NumReplicas() int { return len(*c.reps.Load()) }
 
 // Replica returns the i-th replica database (for tests and direct
-// read-only use). Writes on it fail with ErrReadOnlyReplica.
-func (c *Cluster) Replica(i int) *Database { return c.replicas[i].db }
+// read-only use). Writes on it fail with ErrNotPrimary. The set shifts
+// at promotion: the promoted replica leaves the list and the demoted
+// primary joins it.
+func (c *Cluster) Replica(i int) *Database { return (*c.reps.Load())[i].db }
 
 // LSN returns the cluster log sequence number: the count of mutations
 // enqueued so far. A replica whose applied horizon equals it is fully
@@ -348,6 +601,525 @@ func (c *Cluster) LSN() uint64 { return c.lsn.Load() }
 // reads degrade to the remaining replicas or the primary. nil disarms.
 func (c *Cluster) ArmShipFaults(inj *FaultInjector) { c.injector.Store(inj) }
 
+// beginSwitch claims the single role-change slot.
+func (c *Cluster) beginSwitch() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("mmdb: cluster is closed")
+	}
+	if c.switching {
+		return fmt.Errorf("mmdb: a promotion, failover or rejoin is already in progress")
+	}
+	c.switching = true
+	return nil
+}
+
+func (c *Cluster) endSwitch() {
+	c.mu.Lock()
+	c.switching = false
+	c.mu.Unlock()
+}
+
+// FailoverReport describes a completed crash-driven promotion.
+type FailoverReport struct {
+	OldPrimary    string
+	NewPrimary    string
+	Epoch         uint64 // epoch of the new primary
+	AckedLSN      uint64 // last LSN the old primary acknowledged
+	SettledLSN    uint64 // survivor's horizon before the tail replay
+	TailRecovered uint64 // acked ops replayed from the retained pending tail
+	TailLost      uint64 // acked ops dropped (FailoverLostWAL only)
+}
+
+// Promote performs a planned switchover to replica i: fence the current
+// primary read-only (new writes refuse with *NotPrimaryError), drain
+// every in-flight writer (lock-table quiesce), barrier the target replica
+// at the full acknowledged prefix, then flip the roles — the old primary
+// rejoins as a replica, the target's applier channel drains into it and
+// closes, and the epoch increments. Zero acked-write loss by
+// construction: nothing was acknowledged that the target has not applied.
+// On error (ctx expired, target severed) the fence lifts and the cluster
+// continues under the old primary.
+func (c *Cluster) Promote(ctx context.Context, i int) error {
+	if err := c.beginSwitch(); err != nil {
+		return err
+	}
+	reps := *c.reps.Load()
+	if i < 0 || i >= len(reps) {
+		c.endSwitch()
+		return fmt.Errorf("mmdb: no replica %d", i)
+	}
+	target := reps[i]
+	if target.broken.Load() || target.joining.Load() {
+		c.endSwitch()
+		return fmt.Errorf("mmdb: replica %s is not live (broken or rejoining)", target.name)
+	}
+	old := c.prim.Load()
+
+	// Fence: new exclusive intents on the old primary refuse from here
+	// on. In-flight writers already past the fence finish and ship.
+	old.db.readOnly.Store(true)
+	old.db.locks.SetExclusiveGuard(writeGuard(old.db))
+	unfence := func() {
+		old.db.locks.SetExclusiveGuard(nil)
+		old.db.readOnly.Store(false)
+		c.endSwitch()
+	}
+
+	// Drain in-flight writers: after the quiesce every acknowledged write
+	// has enqueued its ship op, so c.seq is the final acked LSN.
+	if err := old.db.locks.QuiesceExclusive(ctx); err != nil {
+		unfence()
+		return fmt.Errorf("mmdb: promote: quiescing the primary: %w", err)
+	}
+	c.mu.Lock()
+	acked := c.seq
+	c.mu.Unlock()
+
+	// Barrier: the target must have applied the full acked prefix.
+	if err := c.awaitApplied(ctx, target, acked); err != nil {
+		unfence()
+		return fmt.Errorf("mmdb: promote: replica %s catching up to LSN %d: %w", target.name, acked, err)
+	}
+
+	c.detach(target)
+	if target.applied.Load() != acked || target.broken.Load() {
+		// The applier failed between the barrier and the drain; the
+		// target is not a consistent full prefix. Reverse the fence.
+		c.reattach(target)
+		unfence()
+		return fmt.Errorf("mmdb: promote: replica %s failed during drain", target.name)
+	}
+	c.flipDetached(target, old, acked, true)
+	c.promotions.Add(1)
+	c.endSwitch()
+	return nil
+}
+
+// Failover performs a crash-driven promotion after primary loss, with
+// the old primary's durable WAL tail (the retained pending ops) still
+// available: fence and cut off the old primary, settle the surviving
+// replicas, pick the one with the highest applied LSN, replay the acked
+// tail it is missing from the pending buffer, and flip. Zero acked-write
+// loss — even when the survivor's link was severed mid-stream — because
+// everything acknowledged is in the retained tail. The old primary
+// becomes the down node; Rejoin brings it back as a replica.
+func (c *Cluster) Failover(ctx context.Context) (*FailoverReport, error) {
+	return c.failover(ctx, false)
+}
+
+// FailoverLostWAL is Failover for total primary loss: the old primary's
+// WAL is gone, so the acked tail beyond the best survivor's applied
+// horizon cannot be recovered. The promotion still completes — the
+// cluster is available on the survivor's consistent prefix — and the
+// dropped tail is surfaced as a *LostTailError alongside the report.
+func (c *Cluster) FailoverLostWAL(ctx context.Context) (*FailoverReport, error) {
+	return c.failover(ctx, true)
+}
+
+func (c *Cluster) failover(ctx context.Context, walLost bool) (*FailoverReport, error) {
+	if err := c.beginSwitch(); err != nil {
+		return nil, err
+	}
+	old := c.prim.Load()
+
+	// Fence the (crashed) old primary: sessions still holding it refuse
+	// new writes, and the crash fence cuts enqueue off even for writers
+	// already past the guard — acked is frozen the moment we set it.
+	old.db.readOnly.Store(true)
+	old.db.locks.SetExclusiveGuard(writeGuard(old.db))
+	c.mu.Lock()
+	c.fenced = true
+	acked := c.seq
+	c.mu.Unlock()
+	abort := func() {
+		c.mu.Lock()
+		c.fenced = false
+		c.mu.Unlock()
+		old.db.locks.SetExclusiveGuard(nil)
+		old.db.readOnly.Store(false)
+		c.endSwitch()
+	}
+
+	// Pick the survivor: the live replica with the highest applied LSN,
+	// or — when every link was severed — the best frozen prefix, which
+	// the pending tail can top up.
+	reps := *c.reps.Load()
+	var survivor *clusterReplica
+	live := false
+	for _, r := range reps {
+		if r.joining.Load() {
+			continue
+		}
+		rLive := !r.broken.Load()
+		switch {
+		case survivor == nil,
+			rLive && !live,
+			rLive == live && r.applied.Load() > survivor.applied.Load():
+			survivor, live = r, rLive
+		}
+	}
+	if survivor == nil {
+		abort()
+		return nil, fmt.Errorf("mmdb: failover: no replica to promote")
+	}
+
+	if live {
+		// The survivor's link holds every acked op it has not applied
+		// yet (live links never drop ops). Expedite past the injected
+		// link faults — the link's source is dead, its schedule is void —
+		// and drain to the acked horizon.
+		survivor.expedite.Store(true)
+		if err := c.awaitApplied(ctx, survivor, acked); err != nil {
+			survivor.expedite.Store(false)
+			abort()
+			return nil, fmt.Errorf("mmdb: failover: draining replica %s: %w", survivor.name, err)
+		}
+	}
+	c.detach(survivor)
+	settled := survivor.applied.Load()
+	if live && (settled != acked || survivor.broken.Load()) {
+		c.reattach(survivor)
+		abort()
+		return nil, fmt.Errorf("mmdb: failover: replica %s failed during drain", survivor.name)
+	}
+
+	rep := &FailoverReport{
+		OldPrimary: old.name,
+		NewPrimary: survivor.name,
+		AckedLSN:   acked,
+		SettledLSN: settled,
+	}
+	var lost *LostTailError
+	newStart := acked
+	switch {
+	case settled == acked:
+		// Fully caught up; nothing to replay.
+	case !walLost:
+		// Replay the acked tail (settled, acked] from the retained
+		// pending buffer — the primary's durable WAL tail — directly
+		// into the survivor. The trim floor never passes the slowest
+		// replica, so the tail is always there.
+		if err := c.replayPending(survivor, settled, acked); err != nil {
+			c.reattach(survivor)
+			abort()
+			return nil, fmt.Errorf("mmdb: failover: replaying WAL tail into %s: %w", survivor.name, err)
+		}
+		rep.TailRecovered = acked - settled
+		c.tailRecovered.Add(acked - settled)
+	default:
+		// The WAL is gone with the primary: the acked ops above the
+		// survivor's horizon are lost. Promote the consistent prefix and
+		// say so, honestly and typed.
+		rep.TailLost = acked - settled
+		c.tailLost.Add(acked - settled)
+		newStart = settled
+		lost = &LostTailError{AckedLSN: acked, SettledLSN: settled}
+	}
+	survivor.broken.Store(false)
+	survivor.lastErr.Store(nil)
+	survivor.expedite.Store(false)
+	c.flipDetached(survivor, old, newStart, false)
+	rep.Epoch = c.epoch.Load()
+	c.failovers.Add(1)
+	c.endSwitch()
+	if lost != nil {
+		lost.Epoch = rep.Epoch
+		return rep, lost
+	}
+	return rep, nil
+}
+
+// awaitApplied polls until the replica's applied horizon reaches lsn,
+// its link breaks, or ctx ends.
+func (c *Cluster) awaitApplied(ctx context.Context, r *clusterReplica, lsn uint64) error {
+	for {
+		if r.applied.Load() >= lsn {
+			return nil
+		}
+		if r.broken.Load() {
+			return fmt.Errorf("mmdb: replica %s link severed at LSN %d", r.name, r.applied.Load())
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// detach removes the replica from the routing set, closes its link and
+// waits for its applier goroutine to finish draining. After detach the
+// caller owns the replica's database exclusively.
+func (c *Cluster) detach(target *clusterReplica) {
+	c.mu.Lock()
+	reps := *c.reps.Load()
+	out := make([]*clusterReplica, 0, len(reps))
+	for _, r := range reps {
+		if r != target {
+			out = append(out, r)
+		}
+	}
+	c.reps.Store(&out)
+	close(target.ch)
+	c.mu.Unlock()
+	<-target.done
+}
+
+// reattach restores a detached replica with a fresh (empty) link after an
+// aborted promotion. Ops enqueued while it was detached are missing from
+// its link, so it rejoins broken — frozen at a consistent prefix — unless
+// nothing was enqueued meanwhile (the fenced/quiesced case, where it
+// resumes cleanly).
+func (c *Cluster) reattach(target *clusterReplica) {
+	c.mu.Lock()
+	if target.applied.Load() < c.seq && !target.broken.Load() {
+		msg := "mmdb: link reset during aborted promotion"
+		target.lastErr.Store(&msg)
+		target.broken.Store(true)
+	}
+	nr := &clusterReplica{
+		name: target.name,
+		db:   target.db,
+		ch:   make(chan shipOp, 1024),
+		done: make(chan struct{}),
+	}
+	nr.applied.Store(target.applied.Load())
+	nr.ops.Store(target.ops.Load())
+	nr.transients.Store(target.transients.Load())
+	nr.stalls.Store(target.stalls.Load())
+	nr.broken.Store(target.broken.Load())
+	nr.lastErr.Store(target.lastErr.Load())
+	reps := append(append([]*clusterReplica(nil), *c.reps.Load()...), nr)
+	c.reps.Store(&reps)
+	c.wg.Add(1)
+	go c.runApplier(nr)
+	c.mu.Unlock()
+}
+
+// replayPending applies the pending ops in (from, to] directly into a
+// detached survivor — the failover path's read of the primary's durable
+// WAL tail.
+func (c *Cluster) replayPending(r *clusterReplica, from, to uint64) error {
+	c.mu.Lock()
+	if from < c.pendingBase {
+		c.mu.Unlock()
+		return fmt.Errorf("mmdb: pending tail starts at LSN %d, survivor settled at %d", c.pendingBase, from)
+	}
+	tail := append([]shipOp(nil), c.pending[from-c.pendingBase:to-c.pendingBase]...)
+	c.mu.Unlock()
+	for _, op := range tail {
+		if err := r.apply(op); err != nil {
+			return err
+		}
+		r.applied.Store(op.lsn)
+		r.ops.Add(1)
+	}
+	return nil
+}
+
+// flipDetached installs a detached replica as the new primary at
+// newStart (the LSN its history ends at), demotes the old primary, and
+// increments the epoch. oldRejoins controls the old primary's fate: a
+// planned switchover reattaches it as a replica already caught up to
+// newStart; a crash failover parks it as the down node for Rejoin.
+func (c *Cluster) flipDetached(target *clusterReplica, old *primaryRef, newStart uint64, oldRejoins bool) {
+	c.mu.Lock()
+	// Seal the old epoch at newStart: any op it produced above that LSN
+	// is superseded history (the lost tail) and appliers discard it.
+	oldEpoch := c.epoch.Load()
+	cuts := append([]uint64(nil), *c.cuts.Load()...)
+	cuts[oldEpoch-1] = newStart
+	cuts = append(cuts, math.MaxUint64)
+	c.cuts.Store(&cuts)
+	newEpoch := oldEpoch + 1
+	c.epoch.Store(newEpoch)
+	c.seq = newStart
+	c.lsn.Store(newStart)
+	if newStart >= c.pendingBase {
+		if keep := int(newStart - c.pendingBase); keep < len(c.pending) {
+			c.pending = c.pending[:keep]
+		}
+	}
+
+	// The target becomes the primary.
+	ndb := target.db
+	ndb.locks.SetExclusiveGuard(nil)
+	ndb.readOnly.Store(false)
+	fn := c.shipFrom(newEpoch)
+	ndb.ship.Store(&fn)
+	c.prim.Store(&primaryRef{db: ndb, name: target.name})
+
+	// The old primary is already fenced (guard + readOnly set by the
+	// caller); drop its stale ship hook.
+	odb := old.db
+	odb.ship.Store(nil)
+	if oldRejoins {
+		nr := &clusterReplica{
+			name: old.name,
+			db:   odb,
+			ch:   make(chan shipOp, 1024),
+			done: make(chan struct{}),
+		}
+		nr.applied.Store(newStart)
+		reps := append(append([]*clusterReplica(nil), *c.reps.Load()...), nr)
+		c.reps.Store(&reps)
+		c.wg.Add(1)
+		go c.runApplier(nr)
+	} else {
+		c.down.Store(&downNode{name: old.name, db: odb})
+	}
+	c.fenced = false
+	c.mu.Unlock()
+}
+
+// Rejoin brings the down node (the old primary a Failover parked) back
+// into the cluster as a replica. Its history may have diverged — after a
+// lossy failover it can hold acked-but-superseded writes — so Rejoin
+// rebuilds it from the new primary: drop its durable relations, register
+// a parked applier link, freeze a consistent snapshot of the primary
+// under shared relation intents, copy it over, then open the gate — the
+// applier skips ops the snapshot already contains and applies the rest,
+// catching the node up to the live stream. Concurrent writes are safe:
+// ops that race the snapshot are deduplicated by the (floor, snapshot
+// relation set) rule.
+func (c *Cluster) Rejoin(ctx context.Context) error {
+	if err := c.beginSwitch(); err != nil {
+		return err
+	}
+	defer c.endSwitch()
+	dn := c.down.Load()
+	if dn == nil {
+		return fmt.Errorf("mmdb: no node is down")
+	}
+	db := dn.db
+
+	// Scrub the node's possibly-diverged durable state. The applying
+	// flag passes its own write guard; its ship hook is nil, so nothing
+	// replicates.
+	db.applying.Store(true)
+	for _, name := range db.cat.Names() {
+		if isTempRelation(name) {
+			continue
+		}
+		if _, ok := db.localRes.Load(catalog.ResourceID(name)); ok {
+			continue
+		}
+		if err := db.DropRelation(name); err != nil {
+			db.applying.Store(false)
+			return fmt.Errorf("mmdb: rejoin: scrubbing %q: %w", name, err)
+		}
+	}
+	db.applying.Store(false)
+
+	// Register the parked link first: every op enqueued from here on is
+	// buffered for the applier, so nothing between registration and the
+	// snapshot can be missed.
+	r := &clusterReplica{
+		name:  dn.name,
+		db:    db,
+		ch:    make(chan shipOp, 1024),
+		done:  make(chan struct{}),
+		ready: make(chan struct{}),
+	}
+	r.joining.Store(true)
+	c.mu.Lock()
+	reps := append(append([]*clusterReplica(nil), *c.reps.Load()...), r)
+	c.reps.Store(&reps)
+	c.wg.Add(1)
+	go c.runApplier(r)
+	c.mu.Unlock()
+	fail := func(err error) error {
+		c.detach(r)
+		return err
+	}
+
+	// Freeze a snapshot: shared intents on every replicated relation
+	// block writers, so in-flight mutations have enqueued (ship happens
+	// under the exclusive intent) before the locks grant.
+	p := c.prim.Load()
+	names := c.shippedRelationsOf(p.db)
+	txn := p.db.locks.NextID()
+	resources := make([]uint64, len(names))
+	for i, n := range names {
+		resources[i] = catalog.ResourceID(n)
+	}
+	if _, err := p.db.locks.AcquireAll(ctx, txn, resources, lock.Shared); err != nil {
+		return fail(fmt.Errorf("mmdb: rejoin: freezing the primary snapshot: %w", err))
+	}
+	c.mu.Lock()
+	snapLSN := c.seq
+	c.mu.Unlock()
+
+	if err := c.copyRelations(p.db, db, names); err != nil {
+		p.db.locks.Release(txn)
+		return fail(fmt.Errorf("mmdb: rejoin: copying the snapshot: %w", err))
+	}
+
+	// Open the gate: the applier skips ops at or below snapLSN touching
+	// a snapshot relation (the copy already contains them) and applies
+	// everything else.
+	snap := make(map[string]bool, len(names))
+	for _, n := range names {
+		snap[n] = true
+	}
+	r.snap = snap
+	r.floor.Store(snapLSN)
+	r.applied.Store(snapLSN)
+	close(r.ready)
+	p.db.locks.Release(txn)
+
+	// Catch up to the live stream, then become routable.
+	if err := c.awaitApplied(ctx, r, c.lsn.Load()); err != nil {
+		return fmt.Errorf("mmdb: rejoin: %s catching up: %w", r.name, err)
+	}
+	db.readOnly.Store(true)
+	db.locks.SetExclusiveGuard(writeGuard(db))
+	r.joining.Store(false)
+	c.down.Store(nil)
+	return nil
+}
+
+// copyRelations copies the named relations — schema, tuples in storage
+// order, index set — from src into dst, which must be quiescent for the
+// duration (Rejoin holds shared intents on src; dst is the detached down
+// node).
+func (c *Cluster) copyRelations(src, dst *Database, names []string) error {
+	dst.applying.Store(true)
+	defer dst.applying.Store(false)
+	for _, name := range names {
+		srel, err := src.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		schema := srel.Schema()
+		var tuples []Tuple
+		if err := srel.File.Scan(simio.Uncharged, func(t Tuple) bool {
+			tuples = append(tuples, t.Clone())
+			return true
+		}); err != nil {
+			return err
+		}
+		drel, err := dst.CreateRelation(name, schema)
+		if err != nil {
+			return err
+		}
+		for _, t := range tuples {
+			if err := drel.InsertTuple(t); err != nil {
+				return err
+			}
+		}
+		for _, col := range srel.IndexedColumns() {
+			ix, _ := srel.Index(col)
+			if err := drel.CreateIndex(schema.Field(col).Name, ix.Kind()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Route picks the database a read with the given preference should run
 // on. It never fails: when no replica qualifies the primary answers.
 func (c *Cluster) Route(pref ReadPreference) *Database {
@@ -358,24 +1130,26 @@ func (c *Cluster) Route(pref ReadPreference) *Database {
 			return r.db
 		}
 		c.fallbacks.Add(1)
-		return c.primary
+		return c.prim.Load().db
 	case ReadBounded:
 		if r := c.pickBounded(pref.MaxLSNLag); r != nil {
 			c.replicaReads.Add(1)
 			return r.db
 		}
 		c.fallbacks.Add(1)
-		return c.primary
+		return c.prim.Load().db
 	default:
 		c.primaryReads.Add(1)
-		return c.primary
+		return c.prim.Load().db
 	}
 }
 
 // pickNearest returns the live replica with the highest applied horizon,
-// round-robin among ties, or nil when none is live.
+// round-robin among ties, or nil when none is live. Joining replicas are
+// not yet consistent and never serve reads.
 func (c *Cluster) pickNearest() *clusterReplica {
-	n := len(c.replicas)
+	reps := *c.reps.Load()
+	n := len(reps)
 	if n == 0 {
 		return nil
 	}
@@ -383,8 +1157,8 @@ func (c *Cluster) pickNearest() *clusterReplica {
 	var best *clusterReplica
 	var bestApplied uint64
 	for i := 0; i < n; i++ {
-		r := c.replicas[(start+i)%n]
-		if r.broken.Load() {
+		r := reps[(start+i)%n]
+		if r.broken.Load() || r.joining.Load() {
 			continue
 		}
 		if a := r.applied.Load(); best == nil || a > bestApplied {
@@ -395,17 +1169,19 @@ func (c *Cluster) pickNearest() *clusterReplica {
 }
 
 // pickBounded returns a live replica within maxLag ops of the cluster
-// LSN, round-robin, or nil when every replica is too stale or severed.
+// LSN, round-robin, or nil when every replica is too stale, severed or
+// mid-rejoin.
 func (c *Cluster) pickBounded(maxLag uint64) *clusterReplica {
-	n := len(c.replicas)
+	reps := *c.reps.Load()
+	n := len(reps)
 	if n == 0 {
 		return nil
 	}
 	lsn := c.lsn.Load()
 	start := int(c.rr.Add(1)) % n
 	for i := 0; i < n; i++ {
-		r := c.replicas[(start+i)%n]
-		if r.broken.Load() {
+		r := reps[(start+i)%n]
+		if r.broken.Load() || r.joining.Load() {
 			continue
 		}
 		if lsn-r.applied.Load() <= maxLag {
@@ -422,13 +1198,13 @@ func (c *Cluster) pickBounded(maxLag uint64) *clusterReplica {
 func (c *Cluster) databaseFor(text string, opts []SessionOption) *Database {
 	stmt, err := sqlfront.Parse(text)
 	if err != nil {
-		return c.primary
+		return c.prim.Load().db
 	}
 	if _, ok := stmt.(*sqlfront.SelectStmt); ok {
 		return c.Route(resolveSessionConfig(opts).readPref)
 	}
 	c.writes.Add(1)
-	return c.primary
+	return c.prim.Load().db
 }
 
 // SessionFor admits a session on the database one SQL statement should
@@ -441,7 +1217,7 @@ func (c *Cluster) SessionFor(ctx context.Context, text string, opts ...SessionOp
 // NewSession admits a read session on the database the preference
 // routes to (the primary without WithReadPreference). Sessions pinned to
 // a replica see a consistent snapshot trailing the primary; writes in
-// them fail with ErrReadOnlyReplica.
+// them fail with ErrNotPrimary.
 func (c *Cluster) NewSession(ctx context.Context, opts ...SessionOption) (*Session, error) {
 	return c.Route(resolveSessionConfig(opts).readPref).NewSession(ctx, opts...)
 }
@@ -506,13 +1282,13 @@ func (c *Cluster) DistinctContext(ctx context.Context, relation, column string, 
 
 // WaitCaughtUp blocks until every live replica's applied horizon reaches
 // the cluster LSN (or ctx ends). Severed replicas are excluded — they
-// will never catch up.
+// will never catch up — and so are replicas mid-rejoin.
 func (c *Cluster) WaitCaughtUp(ctx context.Context) error {
 	for {
 		target := c.lsn.Load()
 		caught := true
-		for _, r := range c.replicas {
-			if !r.broken.Load() && r.applied.Load() < target {
+		for _, r := range *c.reps.Load() {
+			if !r.broken.Load() && !r.joining.Load() && r.applied.Load() < target {
 				caught = false
 				break
 			}
@@ -535,13 +1311,14 @@ func (c *Cluster) WaitCaughtUp(ctx context.Context) error {
 // It is the cluster determinism oracle — any difference is a divergence
 // bug, never expected staleness.
 func (c *Cluster) VerifyReplicas() error {
-	names := c.shippedRelations()
-	for _, r := range c.replicas {
-		if r.broken.Load() {
+	pdb := c.prim.Load().db
+	names := c.shippedRelationsOf(pdb)
+	for _, r := range *c.reps.Load() {
+		if r.broken.Load() || r.joining.Load() {
 			continue
 		}
 		for _, name := range names {
-			if err := c.compareRelation(r, name); err != nil {
+			if err := c.compareRelation(pdb, r, name); err != nil {
 				return err
 			}
 		}
@@ -553,7 +1330,7 @@ func (c *Cluster) VerifyReplicas() error {
 			if _, ok := r.db.localRes.Load(catalog.ResourceID(name)); ok {
 				continue
 			}
-			if _, err := c.primary.cat.Get(name); err != nil {
+			if _, err := pdb.cat.Get(name); err != nil {
 				return fmt.Errorf("mmdb: replica %s has relation %q the primary lacks", r.name, name)
 			}
 		}
@@ -561,15 +1338,15 @@ func (c *Cluster) VerifyReplicas() error {
 	return nil
 }
 
-// shippedRelations lists the primary's replicated relations: everything
-// durable except temporaries and adopted (primary-local) files.
-func (c *Cluster) shippedRelations() []string {
+// shippedRelationsOf lists a database's replicated relations: everything
+// durable except temporaries and adopted (database-local) files.
+func (c *Cluster) shippedRelationsOf(db *Database) []string {
 	var out []string
-	for _, name := range c.primary.cat.Names() {
+	for _, name := range db.cat.Names() {
 		if isTempRelation(name) {
 			continue
 		}
-		if _, ok := c.primary.localRes.Load(catalog.ResourceID(name)); ok {
+		if _, ok := db.localRes.Load(catalog.ResourceID(name)); ok {
 			continue
 		}
 		out = append(out, name)
@@ -577,8 +1354,8 @@ func (c *Cluster) shippedRelations() []string {
 	return out
 }
 
-func (c *Cluster) compareRelation(r *clusterReplica, name string) error {
-	prel, err := c.primary.cat.Get(name)
+func (c *Cluster) compareRelation(pdb *Database, r *clusterReplica, name string) error {
+	prel, err := pdb.cat.Get(name)
 	if err != nil {
 		return err
 	}
@@ -632,30 +1409,46 @@ type ReplicaMetrics struct {
 	Transients uint64 // transient link faults absorbed
 	Stalls     uint64 // injected stall units served
 	Broken     bool
+	Joining    bool // mid-rejoin: not yet routable
 	LastError  string
 }
 
-// ClusterMetrics reports cluster routing and replication activity.
+// ClusterMetrics reports cluster routing, replication and failover
+// activity.
 type ClusterMetrics struct {
 	LSN          uint64 // mutations enqueued
+	Epoch        uint64 // cluster epoch (increments per promotion)
+	PrimaryName  string // current primary node
 	PrimaryReads uint64 // reads answered by the primary by preference
 	ReplicaReads uint64 // reads routed to a replica
 	Fallbacks    uint64 // reads that wanted a replica but degraded
 	Writes       uint64 // statements classified as writes/DML
-	Replicas     []ReplicaMetrics
+
+	Promotions    uint64 // planned switchovers completed
+	Failovers     uint64 // crash-driven promotions completed
+	TailRecovered uint64 // acked ops replayed from the retained WAL tail
+	TailLost      uint64 // acked ops dropped by FailoverLostWAL
+
+	Replicas []ReplicaMetrics
 }
 
 // Metrics snapshots the cluster's routing counters and per-replica
 // stream state.
 func (c *Cluster) Metrics() ClusterMetrics {
 	m := ClusterMetrics{
-		LSN:          c.lsn.Load(),
-		PrimaryReads: c.primaryReads.Load(),
-		ReplicaReads: c.replicaReads.Load(),
-		Fallbacks:    c.fallbacks.Load(),
-		Writes:       c.writes.Load(),
+		LSN:           c.lsn.Load(),
+		Epoch:         c.epoch.Load(),
+		PrimaryName:   c.prim.Load().name,
+		PrimaryReads:  c.primaryReads.Load(),
+		ReplicaReads:  c.replicaReads.Load(),
+		Fallbacks:     c.fallbacks.Load(),
+		Writes:        c.writes.Load(),
+		Promotions:    c.promotions.Load(),
+		Failovers:     c.failovers.Load(),
+		TailRecovered: c.tailRecovered.Load(),
+		TailLost:      c.tailLost.Load(),
 	}
-	for _, r := range c.replicas {
+	for _, r := range *c.reps.Load() {
 		rm := ReplicaMetrics{
 			Name:       r.name,
 			AppliedLSN: r.applied.Load(),
@@ -663,8 +1456,11 @@ func (c *Cluster) Metrics() ClusterMetrics {
 			Transients: r.transients.Load(),
 			Stalls:     r.stalls.Load(),
 			Broken:     r.broken.Load(),
+			Joining:    r.joining.Load(),
 		}
-		rm.Lag = m.LSN - rm.AppliedLSN
+		if rm.AppliedLSN <= m.LSN {
+			rm.Lag = m.LSN - rm.AppliedLSN
+		}
 		if e := r.lastErr.Load(); e != nil {
 			rm.LastError = *e
 		}
@@ -674,8 +1470,9 @@ func (c *Cluster) Metrics() ClusterMetrics {
 }
 
 // Close stops replication: new mutations stop shipping, the links drain,
-// and the applier goroutines exit. The databases remain usable (the
-// replicas frozen at their final horizons).
+// and the applier goroutines exit — even mid-stall, because the stop
+// channel interrupts injected sleeps (such a link is marked broken,
+// frozen at its consistent prefix). The databases remain usable.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -683,7 +1480,8 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
-	for _, r := range c.replicas {
+	close(c.stop)
+	for _, r := range *c.reps.Load() {
 		close(r.ch)
 	}
 	c.mu.Unlock()

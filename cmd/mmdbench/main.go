@@ -19,6 +19,7 @@
 //	mmdbench -exp chaos               # fault-plane chaos ladder
 //	mmdbench -exp wire -clients 8     # SQL-over-TCP serving ladder
 //	mmdbench -exp repl                # LSN-shipping replication ladder
+//	mmdbench -exp failover            # promotion/failover chaos ladder
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|sort|chaos|wire|repl")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|figure1|table3|agg|planner|recovery|checkpoint|ablation|concurrency|priority|sort|chaos|wire|repl|failover")
 	full := flag.Bool("full", false, "figure1: execute the operators at full Table 2 scale (minutes of wall time)")
 	dur := flag.Duration("dur", 10*time.Second, "recovery: virtual run length per configuration")
 	par := flag.Int("parallel", 1, "worker goroutines for executed join operators (1 = serial, -1 = GOMAXPROCS); virtual times are identical, wall time shrinks")
@@ -229,6 +230,24 @@ func main() {
 		}
 		if !res.AllHold {
 			return fmt.Errorf("repl ladder: a replica diverged from the primary's committed prefix, counters drifted across widths, or stall fallback failed (see BENCH_repl.json)")
+		}
+		return nil
+	})
+	run("failover", func() error {
+		cfg := experiments.DefaultFailoverConfig()
+		if *tuples > 0 {
+			cfg.Rows = *tuples
+		}
+		res, err := experiments.RunFailover(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		if err := res.WriteJSON("BENCH_failover.json"); err != nil {
+			return err
+		}
+		if !res.AllHold {
+			return fmt.Errorf("failover ladder: an acked write was lost, a replica diverged after rejoin, state drifted across widths, or a lost tail went untyped (see BENCH_failover.json)")
 		}
 		return nil
 	})

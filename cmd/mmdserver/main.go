@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mmdb"
 	"mmdb/internal/wire"
@@ -36,6 +39,8 @@ func main() {
 	demo := flag.Int("demo", 0, "load demo tables emp(N)/dept(N/100) with N rows")
 	name := flag.String("name", "mmdb", "server name reported in WELCOME")
 	replicas := flag.Int("replicas", 0, "open N read replicas and route SELECTs by read preference")
+	drain := flag.Duration("drain-timeout", 5*time.Second, "on SIGINT/SIGTERM, wait this long for in-flight connections before force-closing (0 = force-close immediately)")
+	idle := flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = never; clients keep alive with PING)")
 	flag.Parse()
 
 	opts := mmdb.Options{
@@ -53,7 +58,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmdserver: unknown -pick %q (want strict or fair)\n", *pick)
 		os.Exit(2)
 	}
-	srv := &wire.Server{Name: *name}
+	srv := &wire.Server{Name: *name, IdleTimeout: *idle}
 	var db *mmdb.Database
 	if *replicas > 0 {
 		cluster, err := mmdb.OpenCluster(opts, *replicas)
@@ -96,8 +101,12 @@ func main() {
 	go func() { done <- srv.Serve() }()
 	select {
 	case s := <-sig:
-		fmt.Printf("mmdserver: %v, shutting down\n", s)
-		srv.Close()
+		fmt.Printf("mmdserver: %v, draining (up to %v)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(ctx); errors.Is(err, context.DeadlineExceeded) {
+			fmt.Println("mmdserver: drain timeout hit, connections force-closed")
+		}
+		cancel()
 		<-done
 	case err := <-done:
 		if err != nil {

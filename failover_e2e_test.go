@@ -1,0 +1,139 @@
+package mmdb_test
+
+// End-to-end failover exercise over real TCP: one wire server per
+// cluster node, sqlclient connections holding both addresses, and a
+// planned promotion fired while concurrent writers hammer INSERTs. The
+// clients must ride the switchover on their own — catch NOT_PRIMARY,
+// follow the hint, retry the never-acked statement — and at the end
+// every acknowledged row must exist exactly once on the new primary.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mmdb"
+	"mmdb/internal/wire"
+	"mmdb/sqlclient"
+)
+
+// TestSqlclientFailoverPromoteE2E is the paper's §5 durability contract
+// lifted to the client: an acked statement survives the primary being
+// demoted mid-workload, with no duplicates from the retry loop.
+func TestSqlclientFailoverPromoteE2E(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cluster, err := mmdb.OpenCluster(mmdb.Options{MemoryPages: 128, MaxConcurrentQueries: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.Primary().CreateRelation("kv", mmdb.MustSchema(
+		mmdb.Field{Name: "k", Kind: mmdb.Int64},
+		mmdb.Field{Name: "v", Kind: mmdb.Int64},
+	)); err != nil {
+		t.Fatal(err)
+	}
+
+	srvP := &wire.Server{Cluster: cluster, Node: "p", Name: "node-p"}
+	srvR := &wire.Server{Cluster: cluster, Node: "r0", Name: "node-r0"}
+	addrP, err := srvP.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrR, err := srvR.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := map[string]string{"p": addrP.String(), "r0": addrR.String()}
+	srvP.Peers, srvR.Peers = peers, peers
+	go srvP.Serve()
+	go srvR.Serve()
+	defer srvP.Close()
+	defer srvR.Close()
+	addrs := []string{addrP.String(), addrR.String()}
+
+	const writers = 4
+	const rowsPerWriter = 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := sqlclient.DialMulti(ctx, addrs, sqlclient.WithRetries(12))
+			if err != nil {
+				errCh <- fmt.Errorf("writer %d dial: %w", w, err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < rowsPerWriter; i++ {
+				k := w*rowsPerWriter + i + 1
+				if _, err := cl.Query(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", k, w)); err != nil {
+					errCh <- fmt.Errorf("writer %d row %d: %w", w, k, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Spring the promotion once the workload is genuinely in flight.
+	for cluster.LSN() < writers*rowsPerWriter/4 {
+		select {
+		case <-ctx.Done():
+			t.Fatal("workload never reached the promotion trigger")
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	if err := cluster.Promote(ctx, 0); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Every acked row is on the new primary, exactly once — the retry
+	// loop must not have replayed an acknowledged statement.
+	if got := cluster.PrimaryName(); got != "r0" {
+		t.Fatalf("primary %q after promotion, want r0", got)
+	}
+	rel, err := cluster.Primary().Relation("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rel.NumTuples(); n != writers*rowsPerWriter {
+		t.Fatalf("new primary has %d rows, want %d (lost or duplicated acked writes)", n, writers*rowsPerWriter)
+	}
+	if err := cluster.WaitCaughtUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.VerifyReplicas(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh client pointed only at the demoted node follows the
+	// NOT_PRIMARY hint to the new primary and lands its write there.
+	cl, err := sqlclient.DialMulti(ctx, []string{addrP.String()}, sqlclient.WithRetries(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Role() != wire.RoleReplica {
+		t.Fatalf("demoted node reported role %d, want replica", cl.Role())
+	}
+	if _, err := cl.Query("INSERT INTO kv VALUES (9001, 9)"); err != nil {
+		t.Fatalf("write via demoted node never reached the primary: %v", err)
+	}
+	res, err := cl.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("count returned %d rows", len(res.Rows))
+	}
+}

@@ -32,11 +32,21 @@ type LockTable struct {
 	// refused at the lock layer unless the guard allows the resource
 	// (the replication applier, or a session-private temporary).
 	exclusiveGuard func(res uint64) error
+
+	// Exclusive in-flight accounting for QuiesceExclusive: requests
+	// queued but not yet granted, grants currently held per txn, and the
+	// waiters to wake when both drain to zero. A promotion fences new
+	// writes with the guard, then quiesces — every writer that slipped
+	// past the fence is either queued (it will be granted later) or
+	// holding, so this count is exactly the in-flight write set.
+	xPending int
+	xHeld    map[wal.TxnID]int
+	xWaiters []chan struct{}
 }
 
 // NewLockTable returns a façade over a fresh lock manager.
 func NewLockTable() *LockTable {
-	return &LockTable{m: lock.NewManager()}
+	return &LockTable{m: lock.NewManager(), xHeld: make(map[wal.TxnID]int)}
 }
 
 // SetExclusiveGuard installs (or clears, with nil) the Exclusive-mode
@@ -61,14 +71,24 @@ func (t *LockTable) NextID() wal.TxnID {
 // session aborts wholesale, it does not keep partial lock sets.
 func (t *LockTable) Acquire(ctx context.Context, txn wal.TxnID, res uint64, mode lock.Mode) ([]wal.TxnID, error) {
 	ch := make(chan []wal.TxnID, 1)
+	exclusive := mode == lock.Exclusive
 	t.mu.Lock()
-	if mode == lock.Exclusive && t.exclusiveGuard != nil {
+	if exclusive && t.exclusiveGuard != nil {
 		if err := t.exclusiveGuard(res); err != nil {
 			t.mu.Unlock()
 			return nil, err
 		}
 	}
+	if exclusive {
+		t.xPending++
+	}
 	granted := t.m.Acquire(txn, res, mode, func(deps []wal.TxnID) {
+		// Grant callbacks always run under t.mu (synchronously here, or
+		// from a Release under the mutex), so the accounting is safe.
+		if exclusive {
+			t.xPending--
+			t.xHeld[txn]++
+		}
 		ch <- deps
 	})
 	t.mu.Unlock()
@@ -88,10 +108,66 @@ func (t *LockTable) Acquire(ctx context.Context, txn wal.TxnID, res uint64, mode
 			return deps, nil
 		default:
 		}
-		t.m.ReleaseAll(txn)
+		if exclusive {
+			// The queued request dies ungranted; its callback never runs.
+			t.xPending--
+		}
+		t.releaseLocked(txn)
 		t.mu.Unlock()
 		return nil, ctx.Err()
 	}
+}
+
+// releaseLocked drops txn's locks and queued requests and updates the
+// exclusive accounting, waking quiesce waiters when the last exclusive
+// in-flight drains. Callers hold t.mu.
+func (t *LockTable) releaseLocked(txn wal.TxnID) {
+	t.m.ReleaseAll(txn)
+	delete(t.xHeld, txn)
+	t.wakeQuiesceLocked()
+}
+
+// wakeQuiesceLocked signals QuiesceExclusive waiters once no exclusive
+// work is queued or held. Callers hold t.mu.
+func (t *LockTable) wakeQuiesceLocked() {
+	if t.xPending != 0 || len(t.xHeld) != 0 {
+		return
+	}
+	for _, ch := range t.xWaiters {
+		close(ch)
+	}
+	t.xWaiters = nil
+}
+
+// QuiesceExclusive blocks until no exclusive lock is held or queued (or
+// ctx ends). Combined with an exclusiveGuard that refuses new exclusive
+// intents, this drains every in-flight writer — the promotion barrier:
+// after it returns, all writes that will ever be acknowledged by this
+// database have run their mutation and shipped their op.
+func (t *LockTable) QuiesceExclusive(ctx context.Context) error {
+	for {
+		t.mu.Lock()
+		if t.xPending == 0 && len(t.xHeld) == 0 {
+			t.mu.Unlock()
+			return nil
+		}
+		ch := make(chan struct{})
+		t.xWaiters = append(t.xWaiters, ch)
+		t.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// ExclusiveInFlight reports the queued and held exclusive counts (for
+// tests and introspection).
+func (t *LockTable) ExclusiveInFlight() (pending int, held int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.xPending, len(t.xHeld)
 }
 
 // AcquireAll takes the locks on every resource in ascending id order (the
@@ -125,15 +201,19 @@ func (t *LockTable) AcquireAll(ctx context.Context, txn wal.TxnID, resources []u
 // and abort path).
 func (t *LockTable) Release(txn wal.TxnID) {
 	t.mu.Lock()
-	t.m.ReleaseAll(txn)
+	t.releaseLocked(txn)
 	t.mu.Unlock()
 }
 
 // PreCommit moves txn's holds to the pre-committed state, granting
 // eligible waiters with a dependency on txn (the §5.2 group-commit path).
+// Pre-committed holds no longer block waiters, so for quiesce purposes
+// the txn's exclusives are done.
 func (t *LockTable) PreCommit(txn wal.TxnID) {
 	t.mu.Lock()
 	t.m.PreCommit(txn)
+	delete(t.xHeld, txn)
+	t.wakeQuiesceLocked()
 	t.mu.Unlock()
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"mmdb/internal/lock"
 	"mmdb/internal/wal"
@@ -167,5 +168,100 @@ func TestSessionLockTableRacingMixedModes(t *testing.T) {
 		if h := lt.Holders(res); len(h) != 0 {
 			t.Fatalf("resource %d leaked holders %v", res, h)
 		}
+	}
+}
+
+// TestSessionLockTableQuiesceExclusive: the promotion barrier. A quiesce
+// with writers holding and queued blocks until they all finish, returns
+// immediately on an idle table, respects context cancellation, and —
+// combined with an exclusive guard refusing new writers — observes a
+// drained table that stays drained.
+func TestSessionLockTableQuiesceExclusive(t *testing.T) {
+	lt := NewLockTable()
+	ctx := context.Background()
+
+	// Idle table: immediate.
+	if err := lt.QuiesceExclusive(ctx); err != nil {
+		t.Fatalf("quiesce on idle table: %v", err)
+	}
+
+	// One holder, one queued writer behind it.
+	const res = 3
+	holder := lt.NextID()
+	if _, err := lt.Acquire(ctx, holder, res, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	queuedDone := make(chan struct{})
+	queued := lt.NextID()
+	go func() {
+		defer close(queuedDone)
+		if _, err := lt.Acquire(ctx, queued, res, lock.Exclusive); err != nil {
+			t.Error(err)
+			return
+		}
+		lt.Release(queued)
+	}()
+	for {
+		if p, h := lt.ExclusiveInFlight(); p == 1 && h == 1 {
+			break
+		}
+	}
+
+	quiesced := make(chan error, 1)
+	go func() { quiesced <- lt.QuiesceExclusive(ctx) }()
+	select {
+	case <-quiesced:
+		t.Fatal("quiesce returned with a writer holding and another queued")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	// Fence new writers (the promotion guard), then let the in-flight
+	// ones finish: the quiesce must complete.
+	lt.SetExclusiveGuard(func(uint64) error { return errors.New("fenced") })
+	lt.Release(holder)
+	<-queuedDone
+	if err := <-quiesced; err != nil {
+		t.Fatalf("quiesce after drain: %v", err)
+	}
+	if p, h := lt.ExclusiveInFlight(); p != 0 || h != 0 {
+		t.Fatalf("in-flight (%d pending, %d held) after drain", p, h)
+	}
+	// The fence holds: a new writer is refused at the lock layer, a
+	// reader passes.
+	if _, err := lt.Acquire(ctx, lt.NextID(), res, lock.Exclusive); err == nil {
+		t.Fatal("guard admitted a new exclusive during the fence")
+	}
+	rd := lt.NextID()
+	if _, err := lt.Acquire(ctx, rd, res, lock.Shared); err != nil {
+		t.Fatalf("guard blocked a shared intent: %v", err)
+	}
+	lt.Release(rd)
+
+	// A pre-committed writer no longer blocks the barrier (§5.2 group
+	// commit: its effects are shipped; durability is the log's problem).
+	lt.SetExclusiveGuard(nil)
+	pc := lt.NextID()
+	if _, err := lt.Acquire(ctx, pc, res, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	lt.PreCommit(pc)
+	if err := lt.QuiesceExclusive(ctx); err != nil {
+		t.Fatalf("quiesce over a pre-committed writer: %v", err)
+	}
+	lt.Finish(pc)
+
+	// Cancellation: a quiesce that cannot complete returns ctx's error.
+	blocker := lt.NextID()
+	if _, err := lt.Acquire(ctx, blocker, res, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancel()
+	if err := lt.QuiesceExclusive(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled quiesce: %v, want deadline exceeded", err)
+	}
+	lt.Release(blocker)
+	if err := lt.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -27,21 +27,48 @@ func DecodeHello(p []byte) (Hello, error) {
 	return h, r.done()
 }
 
-// Welcome is the server's HELLO response (docs/WIRE.md §4.1).
+// Node roles carried in the version-3 WELCOME tail (docs/WIRE.md §7.1).
+const (
+	RoleUnknown = 0 // pre-v3 peer, or the server declined to say
+	RolePrimary = 1 // the node accepts writes
+	RoleReplica = 2 // read-only: writes answer NOT_PRIMARY
+)
+
+// Welcome is the server's HELLO response (docs/WIRE.md §4.1). On a
+// version-3 connection it also announces the node's role and the cluster
+// epoch — the client learns before its first statement whether this node
+// takes writes, and can order role information from different nodes by
+// epoch.
 type Welcome struct {
 	Version byte
 	Server  string
+	Role    byte   // Role*; RoleUnknown on pre-v3 connections
+	Epoch   uint64 // cluster epoch; 0 when unknown / standalone
 }
 
-// EncodeWelcome renders a WELCOME payload.
+// EncodeWelcome renders a WELCOME payload in version-1/2 layout.
 func EncodeWelcome(w Welcome) []byte {
 	return appendString16([]byte{w.Version}, w.Server)
 }
 
-// DecodeWelcome parses a WELCOME payload.
+// EncodeWelcomeV3 renders a WELCOME payload with the version-3 tail
+// ([role u8][epoch u64] after the server name). Only send it on a
+// connection that negotiated version >= 3.
+func EncodeWelcomeV3(w Welcome) []byte {
+	b := append(EncodeWelcome(w), w.Role)
+	return appendU64(b, w.Epoch)
+}
+
+// DecodeWelcome parses a WELCOME payload, accepting both layouts: the
+// tail is read only when bytes remain, so pre-v3 frames decode with
+// Role = RoleUnknown.
 func DecodeWelcome(p []byte) (Welcome, error) {
 	r := &reader{b: p}
-	w := Welcome{Version: r.u8(), Server: r.string16()}
+	w := Welcome{Version: r.u8(), Server: r.string16(), Role: RoleUnknown}
+	if r.err == nil && len(r.b) > 0 {
+		w.Role = r.u8()
+		w.Epoch = r.u64()
+	}
 	return w, r.done()
 }
 
@@ -238,6 +265,32 @@ func DecodeError(p []byte) (ErrorFrame, error) {
 	r := &reader{b: p}
 	e := ErrorFrame{Code: r.u16(), Msg: r.string16()}
 	return e, r.done()
+}
+
+// NotPrimary reports a write refused because this node is not the
+// cluster's current primary (docs/WIRE.md §7.2). Epoch orders the
+// information (a higher epoch supersedes a lower one) and Hint is the
+// address — or, when the server has no address book, the node name — of
+// the primary at that epoch, so a client can redirect instead of
+// retrying blindly. The connection stays open: reads still work here.
+type NotPrimary struct {
+	Epoch uint64
+	Hint  string
+	Msg   string
+}
+
+// EncodeNotPrimary renders a NOT_PRIMARY payload.
+func EncodeNotPrimary(np NotPrimary) []byte {
+	b := appendU64(nil, np.Epoch)
+	b = appendString16(b, np.Hint)
+	return appendString16(b, np.Msg)
+}
+
+// DecodeNotPrimary parses a NOT_PRIMARY payload.
+func DecodeNotPrimary(p []byte) (NotPrimary, error) {
+	r := &reader{b: p}
+	np := NotPrimary{Epoch: r.u64(), Hint: r.string16(), Msg: r.string16()}
+	return np, r.done()
 }
 
 // Overload reports an admission rejection (docs/WIRE.md §5.2): the

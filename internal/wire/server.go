@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mmdb"
 	sqlfront "mmdb/internal/sql"
@@ -30,6 +31,26 @@ type Server struct {
 	// the primary. DB may be left nil; it defaults to Cluster.Primary().
 	Cluster *mmdb.Cluster
 
+	// Node, when set alongside Cluster, makes this server one stable
+	// cluster node instead of a routing front door: every statement runs
+	// on that node's database, whatever role it currently holds. Writes
+	// against it while it is not the primary answer NOT_PRIMARY (v3) with
+	// a hint to the current primary — exactly what a client sees when its
+	// primary is demoted under it.
+	Node string
+
+	// Peers maps node names to dialable addresses; NOT_PRIMARY hints are
+	// translated through it so clients receive an address, not an
+	// internal node name.
+	Peers map[string]string
+
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// between frames: the read deadline is re-armed before every frame,
+	// so a severed or silent peer is collected in bounded time instead of
+	// pinning a handler goroutine forever. Clients keep a quiet
+	// connection alive with PING.
+	IdleTimeout time.Duration
+
 	lis    net.Listener
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -45,6 +66,7 @@ type Stats struct {
 	Queries     atomic.Uint64 // QUERY frames served (any outcome)
 	Errors      atomic.Uint64 // ERROR frames sent
 	Overloads   atomic.Uint64 // OVERLOAD frames sent
+	NotPrimary  atomic.Uint64 // NOT_PRIMARY refusals (v3 frame or v<3 ERROR)
 }
 
 // Stats returns the server's activity counters.
@@ -53,8 +75,17 @@ func (srv *Server) Stats() *Stats { return &srv.stats }
 // Listen binds addr (e.g. "127.0.0.1:0") without serving yet; the
 // returned address carries the chosen port.
 func (srv *Server) Listen(addr string) (net.Addr, error) {
+	if srv.Node != "" && srv.Cluster == nil {
+		return nil, fmt.Errorf("wire: Node %q set without a Cluster", srv.Node)
+	}
 	if srv.DB == nil && srv.Cluster != nil {
-		srv.DB = srv.Cluster.Primary()
+		if srv.Node != "" {
+			if srv.DB = srv.Cluster.DatabaseOf(srv.Node); srv.DB == nil {
+				return nil, fmt.Errorf("wire: cluster has no node %q", srv.Node)
+			}
+		} else {
+			srv.DB = srv.Cluster.Primary()
+		}
 	}
 	if srv.DB == nil {
 		return nil, fmt.Errorf("wire: server has no database")
@@ -122,6 +153,45 @@ func (srv *Server) ListenAndServe(addr string) error {
 	return srv.Serve()
 }
 
+// Shutdown drains the server gracefully: stop accepting, let in-flight
+// connections finish on their own, and only when ctx expires force-close
+// whatever is still open (returning ctx's error so the caller knows the
+// drain was cut short). Close is Shutdown with an already-expired
+// context.
+func (srv *Server) Shutdown(ctx context.Context) error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil
+	}
+	srv.closed = true
+	lis := srv.lis
+	srv.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		srv.mu.Lock()
+		for c := range srv.conns {
+			c.Close()
+		}
+		srv.mu.Unlock()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
 // Close stops accepting, closes every live connection and waits for
 // their handlers to finish.
 func (srv *Server) Close() error {
@@ -152,9 +222,32 @@ func (srv *Server) protoError(conn net.Conn, format string, args ...any) {
 	_ = WriteFrame(conn, TError, EncodeError(ErrorFrame{Code: CodeProto, Msg: fmt.Sprintf(format, args...)}))
 }
 
+// readFrame reads one frame under the idle deadline: a peer that stays
+// silent past IdleTimeout fails the read and the handler exits, so
+// severed connections die in bounded time.
+func (srv *Server) readFrame(conn net.Conn) (byte, []byte, error) {
+	if srv.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(srv.IdleTimeout))
+	}
+	return ReadFrame(conn)
+}
+
+// roleEpoch reports what the version-3 WELCOME announces: this node's
+// current role and the cluster epoch. A standalone database and the
+// routing front door both take writes, so they report primary.
+func (srv *Server) roleEpoch() (byte, uint64) {
+	if srv.Cluster == nil {
+		return RolePrimary, 0
+	}
+	if srv.Node != "" && !srv.Cluster.IsPrimary(srv.Node) {
+		return RoleReplica, srv.Cluster.Epoch()
+	}
+	return RolePrimary, srv.Cluster.Epoch()
+}
+
 func (srv *Server) handleConn(conn net.Conn) {
 	// HELLO/WELCOME version and default negotiation (docs/WIRE.md §4.1).
-	typ, payload, err := ReadFrame(conn)
+	typ, payload, err := srv.readFrame(conn)
 	if err != nil {
 		return
 	}
@@ -182,14 +275,22 @@ func (srv *Server) handleConn(conn net.Conn) {
 		srv.protoError(conn, "%v", err)
 		return
 	}
-	if err := WriteFrame(conn, TWelcome, EncodeWelcome(Welcome{Version: version, Server: srv.Name})); err != nil {
+	welcome := Welcome{Version: version, Server: srv.Name}
+	var wp []byte
+	if version >= 3 {
+		welcome.Role, welcome.Epoch = srv.roleEpoch()
+		wp = EncodeWelcomeV3(welcome)
+	} else {
+		wp = EncodeWelcome(welcome)
+	}
+	if err := WriteFrame(conn, TWelcome, wp); err != nil {
 		return
 	}
 
 	for {
-		typ, payload, err := ReadFrame(conn)
+		typ, payload, err := srv.readFrame(conn)
 		if err != nil {
-			return // EOF or broken connection
+			return // EOF, idle timeout, or broken connection
 		}
 		switch typ {
 		case TPing:
@@ -202,7 +303,7 @@ func (srv *Server) handleConn(conn net.Conn) {
 				srv.protoError(conn, "bad QUERY: %v", err)
 				return
 			}
-			if !srv.serveQuery(conn, hello, q) {
+			if !srv.serveQuery(conn, hello, version, q) {
 				return
 			}
 		default:
@@ -212,15 +313,24 @@ func (srv *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// newSession admits the statement's session: through the cluster's
-// read routing when one is attached (SELECTs may land on a replica per
-// the statement's preference, writes on the primary), directly on the
-// database otherwise.
+// newSession admits the statement's session. A node server always runs
+// on its own node's database — clients route, nodes don't — so a write
+// against a demoted node fails into the NOT_PRIMARY path rather than
+// being silently forwarded. A front door (Cluster set, Node empty) uses
+// the cluster's read routing: SELECTs may land on a replica per the
+// statement's preference, writes on the primary. A plain server runs
+// directly on its database.
 func (srv *Server) newSession(sql string, opts []mmdb.SessionOption) (*mmdb.Session, error) {
-	if srv.Cluster != nil {
+	if srv.Cluster != nil && srv.Node == "" {
 		return srv.Cluster.SessionFor(context.Background(), sql, opts...)
 	}
-	return srv.DB.NewSession(context.Background(), opts...)
+	db := srv.DB
+	if srv.Cluster != nil {
+		if d := srv.Cluster.DatabaseOf(srv.Node); d != nil {
+			db = d
+		}
+	}
+	return db.NewSession(context.Background(), opts...)
 }
 
 // prefOf maps a wire preference byte onto the engine's ReadPreference.
@@ -250,7 +360,7 @@ func classOf(b byte) (mmdb.QueryClass, error) {
 // response frames. It returns false when the connection must close
 // (write failure or protocol error); statement failures — including
 // overload shedding — keep the connection alive.
-func (srv *Server) serveQuery(conn net.Conn, hello Hello, q Query) bool {
+func (srv *Server) serveQuery(conn net.Conn, hello Hello, version byte, q Query) bool {
 	srv.stats.Queries.Add(1)
 	classByte := q.Class
 	if classByte == ClassDefault {
@@ -289,15 +399,13 @@ func (srv *Server) serveQuery(conn net.Conn, hello Hello, q Query) bool {
 				Msg:   ov.Error(),
 			})) == nil
 		}
-		srv.stats.Errors.Add(1)
-		return WriteFrame(conn, TError, EncodeError(ErrorFrame{Code: CodeExec, Msg: err.Error()})) == nil
+		return srv.writeQueryError(conn, version, err)
 	}
 	res, err := sess.Query(q.SQL)
 	queued := sess.QueuedFor()
 	sess.Close()
 	if err != nil {
-		srv.stats.Errors.Add(1)
-		return WriteFrame(conn, TError, EncodeError(ErrorFrame{Code: errCode(err), Msg: err.Error()})) == nil
+		return srv.writeQueryError(conn, version, err)
 	}
 
 	result := Result{Affected: res.Affected}
@@ -326,6 +434,32 @@ func (srv *Server) serveQuery(conn net.Conn, hello Hello, q Query) bool {
 		ElapsedNS: int64(res.Elapsed),
 		QueuedNS:  int64(queued),
 	})) == nil
+}
+
+// writeQueryError answers a failed statement. A write refused because
+// this node is not the primary becomes a NOT_PRIMARY frame on v3
+// connections — epoch plus a dialable hint (the primary's address when
+// Peers knows it) — so the client redirects instead of guessing from a
+// message string; older connections get a plain CodeExec ERROR. The
+// connection stays open either way.
+func (srv *Server) writeQueryError(conn net.Conn, version byte, err error) bool {
+	var np *mmdb.NotPrimaryError
+	if errors.As(err, &np) {
+		srv.stats.NotPrimary.Add(1)
+		if version >= 3 {
+			hint := np.Hint
+			if addr, ok := srv.Peers[np.Hint]; ok {
+				hint = addr
+			}
+			return WriteFrame(conn, TNotPrimary, EncodeNotPrimary(NotPrimary{
+				Epoch: np.Epoch,
+				Hint:  hint,
+				Msg:   err.Error(),
+			})) == nil
+		}
+	}
+	srv.stats.Errors.Add(1)
+	return WriteFrame(conn, TError, EncodeError(ErrorFrame{Code: errCode(err), Msg: err.Error()})) == nil
 }
 
 // errCode maps a statement failure onto the WIRE.md §5 code space.

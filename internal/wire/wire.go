@@ -14,8 +14,10 @@ import (
 // Version is the newest protocol version this package speaks; the
 // HELLO/WELCOME handshake negotiates min(client, server) and both sides
 // then frame to the negotiated version. Version 2 adds the per-statement
-// read-preference tail to QUERY (docs/WIRE.md §4.2).
-const Version = 2
+// read-preference tail to QUERY (docs/WIRE.md §4.2); version 3 adds the
+// role/epoch tail to WELCOME and the NOT_PRIMARY error frame
+// (docs/WIRE.md §7).
+const Version = 3
 
 // MinVersion is the oldest version the server still accepts in HELLO.
 const MinVersion = 1
@@ -27,16 +29,17 @@ const MaxFrame = 16 << 20
 // Frame types (docs/WIRE.md §3). Requests have the high bit clear,
 // responses set; errors live at 0xE0+.
 const (
-	THello    = 0x01
-	TQuery    = 0x02
-	TPing     = 0x03
-	TWelcome  = 0x81
-	TResult   = 0x82
-	TRows     = 0x83
-	TDone     = 0x84
-	TPong     = 0x85
-	TError    = 0xE0
-	TOverload = 0xE1
+	THello      = 0x01
+	TQuery      = 0x02
+	TPing       = 0x03
+	TWelcome    = 0x81
+	TResult     = 0x82
+	TRows       = 0x83
+	TDone       = 0x84
+	TPong       = 0x85
+	TError      = 0xE0
+	TOverload   = 0xE1
+	TNotPrimary = 0xE2
 )
 
 // Error codes carried by ERROR frames (docs/WIRE.md §5).

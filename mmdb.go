@@ -285,15 +285,25 @@ type Database struct {
 	// Replication plumbing (cluster.go). ship, when set on a cluster
 	// primary, receives every durable mutation — in serialization order,
 	// invoked while the mutating call still holds its exclusive relation
-	// intent. readOnly marks a replica database: exclusive intents are
-	// refused at the lock layer except for the replication applier
+	// intent; it may fail (a fenced or just-demoted primary), failing the
+	// mutating call. readOnly marks a replica database: exclusive intents
+	// are refused at the lock layer except for the replication applier
 	// (applying set around each applied op) and session-private
-	// temporaries (registered in localRes).
-	ship     func(op shipOp)
-	readOnly bool
+	// temporaries (registered in localRes). Both are atomic because
+	// promotion flips them at runtime while sessions are live; cluster
+	// back-points to the owning Cluster so refusals can carry the current
+	// epoch and primary hint.
+	ship     atomic.Pointer[shipFn]
+	readOnly atomic.Bool
 	applying atomic.Bool
 	localRes sync.Map // resource id -> struct{}: replica-local relations
+	cluster  *Cluster // set once at OpenCluster, before any use
 }
+
+// shipFn receives one durable mutation for replication. A non-nil error
+// aborts the mutating statement — the op was not acknowledged and did
+// not replicate.
+type shipFn func(op shipOp) error
 
 // sortActivity accumulates relation-sort telemetry across sessions (the
 // SessionMetrics Sort* fields).
@@ -417,19 +427,31 @@ func (db *Database) ArmFaults(inj *FaultInjector) {
 // permitted on read-only replicas.
 func isTempRelation(name string) bool { return strings.HasPrefix(name, "sql.tmp.") }
 
-// CreateRelation registers an empty relation.
+// CreateRelation registers an empty relation. Like every other durable
+// mutation it takes an exclusive relation intent, so a fencing guard or
+// quiesce barrier sees creates too.
 func (db *Database) CreateRelation(name string, schema *Schema) (*Relation, error) {
-	if db.readOnly && !db.applying.Load() && !isTempRelation(name) {
-		return nil, ErrReadOnlyReplica
+	if isTempRelation(name) {
+		// Session-private temporaries are always database-local: register
+		// before locking so a write-fenced database (replica, or a primary
+		// mid-promotion) still admits the exclusive intent.
+		db.localRes.Store(catalog.ResourceID(name), struct{}{})
+	} else if db.readOnly.Load() && !db.applying.Load() {
+		return nil, db.writeRefused()
 	}
+	unlock, err := db.lockRelations(context.Background(), lock.Exclusive, name)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
 	r, err := db.cat.Create(name, schema)
 	if err != nil {
 		return nil, err
 	}
-	if db.readOnly && !db.applying.Load() {
-		db.localRes.Store(catalog.ResourceID(name), struct{}{})
+	if err := db.shipOp(shipOp{kind: opCreateRelation, rel: name, schema: schema}); err != nil {
+		_ = db.cat.Drop(name)
+		return nil, err
 	}
-	db.shipOp(shipOp{kind: opCreateRelation, rel: name, schema: schema})
 	return &Relation{db: db, rel: r}, nil
 }
 
@@ -453,12 +475,20 @@ func (db *Database) DropRelation(name string) error {
 		return err
 	}
 	defer unlock()
+	// Ship before dropping: a refused ship (fenced primary) must leave
+	// the relation in place, and drops of local-only relations
+	// (temporaries, adopted files) must not reach replicas — shipOp
+	// checks the local marker before it is forgotten. The existence
+	// check first keeps a nonexistent-relation error from replicating.
+	if _, err := db.cat.Get(name); err != nil {
+		return err
+	}
+	if err := db.shipOp(shipOp{kind: opDropRelation, rel: name}); err != nil {
+		return err
+	}
 	if err := db.cat.Drop(name); err != nil {
 		return err
 	}
-	// Ship before forgetting the local marker: drops of local-only
-	// relations (temporaries, adopted files) must not reach replicas.
-	db.shipOp(shipOp{kind: opDropRelation, rel: name})
 	db.localRes.Delete(catalog.ResourceID(name))
 	return nil
 }
@@ -480,15 +510,28 @@ func (db *Database) adoptFile(f *heap.File) (*Relation, error) {
 
 // shipOp forwards a mutation to the cluster ship hook, if any. Temporaries
 // and local (adopted) relations stay local: every database — primary or
-// replica — materializes its own.
-func (db *Database) shipOp(op shipOp) {
-	if db.ship == nil || isTempRelation(op.rel) {
-		return
+// replica — materializes its own. A ship refusal (the database was fenced
+// or demoted mid-call) fails the mutation.
+func (db *Database) shipOp(op shipOp) error {
+	fn := db.ship.Load()
+	if fn == nil || isTempRelation(op.rel) {
+		return nil
 	}
 	if _, ok := db.localRes.Load(catalog.ResourceID(op.rel)); ok {
-		return
+		return nil
 	}
-	db.ship(op)
+	return (*fn)(op)
+}
+
+// writeRefused builds the error a refused write surfaces: on a clustered
+// database a *NotPrimaryError carrying the current epoch and primary
+// hint (it still matches ErrReadOnlyReplica via errors.Is), a plain
+// ErrReadOnlyReplica otherwise.
+func (db *Database) writeRefused() error {
+	if c := db.cluster; c != nil {
+		return c.notPrimaryErr()
+	}
+	return ErrReadOnlyReplica
 }
 
 // lockRelations takes a one-shot relation-level intent lock on every named

@@ -74,9 +74,10 @@ func (r *Relation) InsertTuple(t Tuple) error {
 			ix.Insert(schema.KeyBytes(t, col), t.Clone())
 		}
 		// Ship inside the intent so replication order is the primary's
-		// serialization order (likewise in every mutation below).
-		r.db.shipOp(shipOp{kind: opInsert, rel: r.Name(), tuple: t.Clone()})
-		return nil
+		// serialization order (likewise in every mutation below). A
+		// refused ship — this node was demoted mid-call — fails the
+		// statement: the write is not acknowledged.
+		return r.db.shipOp(shipOp{kind: opInsert, rel: r.Name(), tuple: t.Clone()})
 	})
 }
 
@@ -86,8 +87,7 @@ func (r *Relation) Flush() error {
 		if err := r.rel.File.Flush(simio.Uncharged); err != nil {
 			return err
 		}
-		r.db.shipOp(shipOp{kind: opFlush, rel: r.Name()})
-		return nil
+		return r.db.shipOp(shipOp{kind: opFlush, rel: r.Name()})
 	})
 }
 
@@ -109,8 +109,7 @@ func (r *Relation) CreateIndex(column string, kind IndexKind) error {
 		if _, err := r.db.cat.BuildIndex(r.Name(), col, kind); err != nil {
 			return err
 		}
-		r.db.shipOp(shipOp{kind: opIndex, rel: r.Name(), column: column, ixKind: kind})
-		return nil
+		return r.db.shipOp(shipOp{kind: opIndex, rel: r.Name(), column: column, ixKind: kind})
 	})
 }
 
@@ -179,7 +178,10 @@ func (r *Relation) Delete(column string, v Value) (int64, error) {
 				return err
 			}
 		}
-		r.db.shipOp(shipOp{kind: opDelete, rel: r.Name(), column: column, value: v})
+		if err := r.db.shipOp(shipOp{kind: opDelete, rel: r.Name(), column: column, value: v}); err != nil {
+			removed = 0
+			return err
+		}
 		return nil
 	})
 	return removed, err
@@ -219,7 +221,10 @@ func (r *Relation) DeleteWhere(p *Pred) (int64, error) {
 		if p != nil {
 			inner = p.inner
 		}
-		r.db.shipOp(shipOp{kind: opDeleteWhere, rel: r.Name(), pred: inner})
+		if err := r.db.shipOp(shipOp{kind: opDeleteWhere, rel: r.Name(), pred: inner}); err != nil {
+			removed = 0
+			return err
+		}
 		return nil
 	})
 	return removed, err
@@ -265,11 +270,14 @@ func (r *Relation) Update(column string, v Value, setColumn string, newVal Value
 				return err
 			}
 		}
-		r.db.shipOp(shipOp{
+		if err := r.db.shipOp(shipOp{
 			kind: opUpdate, rel: r.Name(),
 			column: column, value: v,
 			setColumn: setColumn, newValue: newVal,
-		})
+		}); err != nil {
+			changed = 0
+			return err
+		}
 		return nil
 	})
 	return changed, err

@@ -307,8 +307,8 @@ func TestWireReplReadPreference(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if cl.Version() != 2 {
-		t.Fatalf("negotiated version %d, want 2", cl.Version())
+	if cl.Version() != wire.Version {
+		t.Fatalf("negotiated version %d, want %d", cl.Version(), wire.Version)
 	}
 
 	before := cluster.Metrics().ReplicaReads
