@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestCachelabLadderHolds runs the ladder at smoke scale and requires the
+// counter-identity gate to hold on every rung: every width x kernel cell
+// reproduces one virtual profile.
+func TestCachelabLadderHolds(t *testing.T) {
+	cfg := DefaultCachelabConfig()
+	cfg.Widths = []int{1, 4}
+	cfg.BuildTuples = 2000
+	cfg.ProbeTuples = 6000
+	cfg.SortTuples = 4000
+	cfg.Repeat = 1
+	res, err := RunCachelab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllIdentical {
+		for _, row := range res.Rows {
+			if !row.CellsIdentical {
+				t.Errorf("rung %s: cells diverged", row.Rung)
+			}
+		}
+		t.Fatal("cachelab invariant violated at smoke scale")
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 rungs, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Virtual.Rows == 0 {
+			t.Errorf("rung %s produced no rows", row.Rung)
+		}
+		if len(row.Cells) != len(cfg.Widths)*2 {
+			t.Errorf("rung %s: %d cells, want %d", row.Rung, len(row.Cells), len(cfg.Widths)*2)
+		}
+		for _, w := range cfg.Widths {
+			if _, ok := row.KernelSpeedup[key(w)]; !ok {
+				t.Errorf("rung %s: missing speedup for width %d", row.Rung, w)
+			}
+		}
+	}
+}
+
+func key(w int) string {
+	return "w=" + string(rune('0'+w))
+}

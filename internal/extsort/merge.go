@@ -20,7 +20,7 @@ const pumpBuffer = 128
 // memStream drains an in-memory priority queue, charging the heap pops as
 // the consumer pulls — the classic (Chunks=1) in-memory sort.
 type memStream struct {
-	q *pqueue
+	q selTree
 }
 
 func (s *memStream) Next() (tuple.Tuple, bool) {
@@ -120,18 +120,18 @@ type mergeStream struct {
 	col     int
 	schema  *tuple.Schema
 	cursors []*runCursor
-	q       *pqueue
+	q       selTree
 	err     error
 	closed  bool
 }
 
-func mergeRuns(runs []*heap.File, col int) (*mergeStream, error) {
+func mergeRuns(runs []*heap.File, col int, kernel bool) (*mergeStream, error) {
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("extsort: no runs to merge")
 	}
 	clock := runs[0].Disk().Clock()
 	schema := runs[0].Schema()
-	ms := &mergeStream{col: col, schema: schema, q: newPQueue(clock, byKey(clock), len(runs))}
+	ms := &mergeStream{col: col, schema: schema, q: newSelTree(clock, kindKey, len(runs), kernel)}
 	for i, rf := range runs {
 		c := &runCursor{file: rf}
 		ms.cursors = append(ms.cursors, c)
@@ -245,6 +245,107 @@ func (p *pumpStream) Close() error {
 	return p.err
 }
 
+// pumpBatch is how many tuples a batched pump moves per channel operation.
+const pumpBatch = 32
+
+// batchPumpStream is the kernel-mode interior pump: identical drain/Close
+// contract to pumpStream, but tuples cross the channel in pumpBatch-sized
+// slices, amortizing the per-tuple channel synchronization that dominates
+// a wide merge root's interior nodes. Charges are unchanged — batching
+// only reschedules when the inner stream is pulled, and the Stream
+// contract already guarantees schedule-independent totals.
+type batchPumpStream struct {
+	ch   chan []tuple.Tuple
+	cur  []tuple.Tuple
+	pos  int
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+	err  error
+}
+
+func newBatchPumpStream(inner Stream, buf int) *batchPumpStream {
+	depth := buf / pumpBatch
+	if depth < 1 {
+		depth = 1
+	}
+	p := &batchPumpStream{
+		ch:   make(chan []tuple.Tuple, depth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		batch := make([]tuple.Tuple, 0, pumpBatch)
+		stopped := false
+		send := func() bool {
+			select {
+			case p.ch <- batch:
+				batch = make([]tuple.Tuple, 0, pumpBatch)
+				return true
+			case <-p.stop:
+				return false
+			}
+		}
+		for !stopped {
+			t, ok := inner.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, t)
+			if len(batch) == pumpBatch {
+				stopped = !send()
+			}
+		}
+		if stopped {
+			// Consumer abandoned the stream: finish the inner reads so the
+			// charged counters stay schedule-independent.
+			for {
+				if _, ok := inner.Next(); !ok {
+					break
+				}
+			}
+		} else if len(batch) > 0 {
+			send()
+		}
+		p.err = inner.Err()
+		inner.Close()
+		close(p.done)
+		close(p.ch)
+	}()
+	return p
+}
+
+func (p *batchPumpStream) Next() (tuple.Tuple, bool) {
+	if p.pos < len(p.cur) {
+		t := p.cur[p.pos]
+		p.pos++
+		return t, true
+	}
+	b, ok := <-p.ch
+	if !ok {
+		return nil, false
+	}
+	p.cur, p.pos = b, 1
+	return b[0], true
+}
+
+// Err reports the inner stream's error once the pump has finished; while
+// the pump is still running there is no error to report yet.
+func (p *batchPumpStream) Err() error {
+	select {
+	case <-p.done:
+		return p.err
+	default:
+		return nil
+	}
+}
+
+func (p *batchPumpStream) Close() error {
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+	return p.err
+}
+
 // treeStream is the root of the chunked merge tree: a selection tree over
 // one stream per chunk, charging its comparisons and sifts on the base
 // clock. Ties between chunks break toward the lower chunk index, which
@@ -253,17 +354,24 @@ type treeStream struct {
 	col      int
 	schema   *tuple.Schema
 	children []Stream
-	q        *pqueue
+	q        selTree
 	err      error
 	closed   bool
 }
 
-func newTreeStream(children []Stream, schema *tuple.Schema, col int, clock *cost.Clock) (*treeStream, error) {
+// newTreeStream builds the root selection tree. The charged structure is
+// always the flat fan-in over all chunk streams (changing it would change
+// plan counters); with the kernel layout the root's nodes are 16-byte
+// prefix records — a 64-chunk root is one KiB of heap, cache-resident even
+// at very high SortChunks — and the interior pumps feeding it are batched
+// (see newBatchPumpStream), which is what keeps a wide root from becoming
+// a per-tuple channel bottleneck.
+func newTreeStream(children []Stream, schema *tuple.Schema, col int, clock *cost.Clock, kernel bool) (*treeStream, error) {
 	t := &treeStream{
 		col:      col,
 		schema:   schema,
 		children: children,
-		q:        newPQueue(clock, byKey(clock), len(children)),
+		q:        newSelTree(clock, kindKey, len(children), kernel),
 	}
 	for i, c := range children {
 		tup, ok := c.Next()

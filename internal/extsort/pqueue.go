@@ -15,6 +15,39 @@ type item struct {
 	tup tuple.Tuple
 }
 
+// selTree is the counting selection-tree surface shared by the classic
+// pqueue and the cache-kernel kqueue: the sort and merge paths pick a
+// layout without touching their accounting.
+type selTree interface {
+	Len() int
+	Peek() *item
+	Push(it item)
+	Pop() item
+	Replace(it item) item
+}
+
+// lessKind names the two charged orderings so the kernel queue can
+// replicate their charge structure exactly.
+type lessKind int
+
+const (
+	kindRunThenKey lessKind = iota // replacement selection
+	kindKey                        // merge (run breaks ties)
+)
+
+// newSelTree returns the selection tree for the given ordering: the classic
+// item-array binary heap, or (kernel=true) the cache-kernel layout with
+// identical charges.
+func newSelTree(clock *cost.Clock, kind lessKind, capacity int, kernel bool) selTree {
+	if kernel {
+		return newKQueue(clock, kind, capacity)
+	}
+	if kind == kindRunThenKey {
+		return newPQueue(clock, byRunThenKey(clock), capacity)
+	}
+	return newPQueue(clock, byKey(clock), capacity)
+}
+
 // lessFunc orders queue items, charging comparisons on the clock as it
 // goes.
 type lessFunc func(a, b *item) bool

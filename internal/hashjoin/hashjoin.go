@@ -27,6 +27,7 @@ import (
 type Hasher struct {
 	clock *cost.Clock
 	level uint32
+	fast  bool
 }
 
 // NewHasher returns a hasher at the given recursion level.
@@ -34,9 +35,13 @@ func NewHasher(clock *cost.Clock, level uint32) Hasher {
 	return Hasher{clock: clock, level: level}
 }
 
-// Hash returns a 64-bit hash of key, charging one hash operation.
+// Hash returns a 64-bit hash of key, charging one hash operation. The fast
+// (kernel) variant computes the identical value without allocating.
 func (h Hasher) Hash(key []byte) uint64 {
 	h.clock.Hashes(1)
+	if h.fast {
+		return fastHash(h.level, key)
+	}
 	f := fnv.New64a()
 	var salt [4]byte
 	binary.BigEndian.PutUint32(salt[:], h.level+0x9e3779b9)
@@ -204,12 +209,15 @@ type Keyed struct {
 // values; the operators only use it when the whole relation is
 // memory-resident and no disk partitioning happens (§3.7's q = 1 case).
 type ShardedTable struct {
-	shards []*Table
+	shards []SubTable
 	shift  uint
 }
 
 // NewShardedTable creates a table of nshards shards (rounded up to a power
-// of two) sized for the expected total number of tuples.
+// of two) sized for the expected total number of tuples. Per-shard sizing
+// rounds the share up (ceil, not truncate-plus-one) so shards never start
+// undersized; NewShardedKernelTable further rounds up to the
+// open-addressing load-factor target with skew headroom.
 func NewShardedTable(clock *cost.Clock, schema *tuple.Schema, col int, expected, nshards int) *ShardedTable {
 	ns := 1
 	for ns < nshards {
@@ -219,8 +227,8 @@ func NewShardedTable(clock *cost.Clock, schema *tuple.Schema, col int, expected,
 	for 1<<k < ns {
 		k++
 	}
-	st := &ShardedTable{shards: make([]*Table, ns), shift: 64 - k}
-	per := expected/ns + 1
+	st := &ShardedTable{shards: make([]SubTable, ns), shift: 64 - k}
+	per := ceilDiv(expected, ns)
 	for i := range st.shards {
 		st.shards[i] = NewTable(clock, schema, col, per)
 	}
@@ -234,7 +242,7 @@ func (st *ShardedTable) NumShards() int { return len(st.shards) }
 func (st *ShardedTable) ShardOf(h uint64) int { return int(h >> st.shift) }
 
 // Shard returns shard i for direct single-owner access by a worker.
-func (st *ShardedTable) Shard(i int) *Table { return st.shards[i] }
+func (st *ShardedTable) Shard(i int) SubTable { return st.shards[i] }
 
 // Insert routes tup (whose key hashed to h) to its shard, charging one
 // move. Not safe for concurrent calls that map to the same shard; workers

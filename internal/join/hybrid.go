@@ -42,8 +42,8 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 		if spec.workers() > 1 {
 			return residentJoinParallel(spec, emit)
 		}
-		hasher := hashjoin.NewHasher(clock, 0)
-		table := hashjoin.NewTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()))
+		hasher := spec.newHasher(clock, 0)
+		table := spec.newTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()))
 		err := spec.R.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
 			table.Insert(hasher.Hash(rSchema.KeyBytes(t, spec.RCol)), t.Clone())
 			return true
@@ -51,13 +51,17 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 		if err != nil {
 			return err
 		}
-		return spec.S.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
-			key := sSchema.KeyBytes(t, spec.SCol)
-			table.Probe(hasher.Hash(key), key, func(r tuple.Tuple) {
-				emit(r, t)
-			})
+		pr := newProber(table, func(t tuple.Tuple) []byte { return sSchema.KeyBytes(t, spec.SCol) },
+			func(s, r tuple.Tuple) { emit(r, s) })
+		err = spec.S.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
+			pr.add(hasher.Hash(sSchema.KeyBytes(t, spec.SCol)), t)
 			return true
 		})
+		if err != nil {
+			return err
+		}
+		pr.flush()
+		return nil
 	}
 
 	// The paper's minimum is B = ceil((|R|F - |M|)/(|M|-1)), which makes
@@ -95,7 +99,7 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	if err != nil {
 		return err
 	}
-	hasher := hashjoin.NewHasher(clock, 0)
+	hasher := spec.newHasher(clock, 0)
 
 	flush := simio.Rand
 	if b == 1 {
@@ -109,7 +113,7 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	// the cloned tuples, not copying them) so a mid-query revocation can
 	// spill the resident partition to disk and degrade to pure GRACE.
 	resident := int(q*float64(spec.R.NumTuples())) + 1
-	table := hashjoin.NewTable(clock, rSchema, spec.RCol, resident)
+	table := spec.newTable(clock, rSchema, spec.RCol, resident)
 	var kept []hashjoin.Keyed
 	var spillR, spillS *heap.File
 	perPage := float64(spec.R.TuplesPerPage())
@@ -182,11 +186,17 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	if err != nil {
 		return err
 	}
+	pr := newProber(table, func(t tuple.Tuple) []byte { return sSchema.KeyBytes(t, spec.SCol) },
+		func(s, r tuple.Tuple) { emit(r, s) })
 	scanErr = spec.S.Scan(simio.Uncharged, func(t tuple.Tuple) bool {
 		key := sSchema.KeyBytes(t, spec.SCol)
 		h := hasher.Hash(key)
 		if p := splitter.Partition(h); p == 0 {
 			if table != nil && shrunk() {
+				// The revocation point is per-tuple exactly as in the
+				// unbatched loop; pending probes were admitted before the
+				// grant shrank and must surface before the table goes away.
+				pr.flush()
 				if err = spill(); err != nil {
 					return false
 				}
@@ -196,9 +206,7 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 				err = spillS.Append(t.Clone(), simio.Seq)
 				return err == nil
 			}
-			table.Probe(h, key, func(r tuple.Tuple) {
-				emit(r, t)
-			})
+			pr.add(h, t)
 		} else {
 			err = sPart.Add(p-1, t)
 		}
@@ -210,6 +218,7 @@ func hybridHash(spec Spec, emit Emit, res *Result) error {
 	if err != nil {
 		return err
 	}
+	pr.flush()
 	sParts, err := sPart.Close()
 	if err != nil {
 		return err
@@ -240,10 +249,13 @@ func residentJoinLive(spec Spec, emit Emit, res *Result) error {
 	clock := disk.Clock()
 	rSchema, sSchema := spec.R.Schema(), spec.S.Schema()
 	prefix := tmpPrefix(HybridHash)
-	hasher := hashjoin.NewHasher(clock, 0)
+	hasher := spec.newHasher(clock, 0)
 	perPage := float64(spec.R.TuplesPerPage())
 
-	table := hashjoin.NewTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()))
+	// Kernel layout for the table, but tuple-at-a-time probing: this path
+	// exists to observe a live grant at every tuple boundary, and batching
+	// would only defer matches across the boundary being tested.
+	table := spec.newTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()))
 	var kept []hashjoin.Keyed
 	var spillR, spillS *heap.File
 	shrunk := func() bool {
@@ -337,9 +349,14 @@ func residentJoinLive(spec Spec, emit Emit, res *Result) error {
 func residentJoinParallel(spec Spec, emit Emit) error {
 	clock := spec.R.Disk().Clock()
 	rSchema, sSchema := spec.R.Schema(), spec.S.Schema()
-	hasher := hashjoin.NewHasher(clock, 0)
+	hasher := spec.newHasher(clock, 0)
 	workers := spec.workers()
-	table := hashjoin.NewShardedTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()), workers)
+	var table *hashjoin.ShardedTable
+	if spec.kernels() {
+		table = hashjoin.NewShardedKernelTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()), workers)
+	} else {
+		table = hashjoin.NewShardedTable(clock, rSchema, spec.RCol, int(spec.R.NumTuples()), workers)
+	}
 	ns := table.NumShards()
 	pool := exec.NewPool(workers)
 	ctx := context.Background()
@@ -377,6 +394,26 @@ func residentJoinParallel(spec Spec, emit Emit) error {
 		return err
 	}
 	return pool.ForEach(ctx, ns, func(_ context.Context, i int) error {
+		// Each shard's probes are already clustered by hash; sweep them in
+		// kernel-sized batches so the shard's sub-tables stay cache-warm.
+		// The scratch buffers live per shard table, so shards batch
+		// concurrently without sharing state.
+		if kt := table.KernelShard(i); kt != nil {
+			keyOf := func(t tuple.Tuple) []byte { return sSchema.KeyBytes(t, spec.SCol) }
+			bs := kt.BatchSize()
+			for lo := 0; lo < len(probe[i]); lo += bs {
+				hi := lo + bs
+				if hi > len(probe[i]) {
+					hi = len(probe[i])
+				}
+				batch := probe[i][lo:hi]
+				kt.ProbeBatch(batch, keyOf, func(j int, r tuple.Tuple) {
+					emit(r, batch[j].Tuple)
+				})
+			}
+			probe[i] = nil
+			return nil
+		}
 		shard := table.Shard(i)
 		for _, k := range probe[i] {
 			key := sSchema.KeyBytes(k.Tuple, spec.SCol)

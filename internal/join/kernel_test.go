@@ -1,0 +1,130 @@
+package join
+
+import (
+	"fmt"
+	"testing"
+
+	"mmdb/internal/cost"
+	"mmdb/internal/tuple"
+)
+
+// runKernelCase executes one join with the given kernel setting on a fresh
+// disk, returning the ordered emission sequence, the match multiset, the
+// result, and the full clock counters.
+func runKernelCase(t *testing.T, a Algorithm, width int, noKernel bool, mutate func(*Spec)) ([]string, map[string]int, Result, cost.Counters) {
+	t.Helper()
+	disk, clock := testEnv()
+	r := makeRelation(t, disk, "R", 600, 150, 77)
+	s := makeRelation(t, disk, "S", 900, 150, 78)
+	spec := Spec{R: r, S: s, M: 12, Parallelism: width, NoCacheKernels: noKernel}
+	if mutate != nil {
+		mutate(&spec)
+	}
+	var seq []string
+	got := make(map[string]int)
+	res, err := Run(a, spec, func(r, s tuple.Tuple) {
+		p := fmt.Sprintf("%x|%x", []byte(r), []byte(s))
+		seq = append(seq, p)
+		got[p]++
+	})
+	if err != nil {
+		t.Fatalf("%v kernel=%v width=%d: %v", a, !noKernel, width, err)
+	}
+	return seq, got, res, clock.Counters()
+}
+
+// TestRadixKernelJoinsIdentical is the join half of the cachelab invariant
+// at unit level: with the plan knobs fixed, the cache-conscious kernels
+// must charge bit-identical counters and produce the same matches as the
+// classic layout at every schedule width — and at width 1, the exact same
+// emission sequence.
+func TestRadixKernelJoinsIdentical(t *testing.T) {
+	algos := []struct {
+		a      Algorithm
+		mutate func(*Spec)
+	}{
+		{SimpleHash, nil},
+		{GraceHash, nil},
+		{HybridHash, nil},
+		{HybridHash, func(s *Spec) { s.M = 300 }}, // degenerate all-resident path
+		{SortMerge, func(s *Spec) { s.SortChunks = 4 }},
+	}
+	for ai, tc := range algos {
+		for _, width := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("%v.%d/width=%d", tc.a, ai, width)
+			t.Run(name, func(t *testing.T) {
+				onSeq, onSet, onRes, onC := runKernelCase(t, tc.a, width, false, tc.mutate)
+				offSeq, offSet, offRes, offC := runKernelCase(t, tc.a, width, true, tc.mutate)
+				if onC != offC {
+					t.Errorf("counters diverge:\nkernel on  %+v\nkernel off %+v", onC, offC)
+				}
+				if onRes.Matches != offRes.Matches {
+					t.Errorf("matches diverge: %d vs %d", onRes.Matches, offRes.Matches)
+				}
+				if !sameMultiset(onSet, offSet) {
+					t.Error("match multisets diverge")
+				}
+				if width == 1 {
+					for i := range onSeq {
+						if onSeq[i] != offSeq[i] {
+							t.Fatalf("emission order diverges at %d", i)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRadixKernelDegradeIdentical revokes hybrid's memory grant mid-build
+// (deterministically, by consultation count — identical in both layouts)
+// and requires the batched-probe path to spill at the same tuple boundary:
+// same GRACE fallback, same matches, bit-identical counters, and at width
+// 1 the same emission order.
+func TestRadixKernelDegradeIdentical(t *testing.T) {
+	for _, width := range []int{1, 4} {
+		t.Run(fmt.Sprintf("width=%d", width), func(t *testing.T) {
+			run := func(noKernel bool) ([]string, map[string]int, Result, cost.Counters) {
+				grant := &revocableGrant{full: 12, shrunken: 2, after: 20}
+				return runKernelCase(t, HybridHash, width, noKernel, func(s *Spec) {
+					s.LiveM = grant.pages
+				})
+			}
+			onSeq, onSet, onRes, onC := run(false)
+			offSeq, offSet, offRes, offC := run(true)
+			if !onRes.GraceFallback || !offRes.GraceFallback {
+				t.Fatalf("expected both layouts to fall back: on=%v off=%v",
+					onRes.GraceFallback, offRes.GraceFallback)
+			}
+			if onC != offC {
+				t.Errorf("counters diverge:\nkernel on  %+v\nkernel off %+v", onC, offC)
+			}
+			if !sameMultiset(onSet, offSet) {
+				t.Error("match multisets diverge")
+			}
+			if width == 1 {
+				if len(onSeq) != len(offSeq) {
+					t.Fatalf("emission lengths diverge: %d vs %d", len(onSeq), len(offSeq))
+				}
+				for i := range onSeq {
+					if onSeq[i] != offSeq[i] {
+						t.Fatalf("emission order diverges at %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRadixKernelMatchesOracle runs the full oracle check with kernels
+// explicitly on, across plan shapes that force recursion and chunked
+// fallbacks, so the batched probe path is validated against nested loops
+// and not just against the classic layout.
+func TestRadixKernelMatchesOracle(t *testing.T) {
+	disk, _ := testEnv()
+	r := makeRelation(t, disk, "R", 500, 40, 79) // heavy duplicates
+	s := makeRelation(t, disk, "S", 700, 40, 80)
+	for _, m := range []int{4, 12, 300} {
+		checkAgainstOracle(t, Spec{R: r, S: s, M: m})
+	}
+}

@@ -37,7 +37,7 @@ func simpleHash(spec Spec, emit Emit, res *Result) error {
 		if resident > 1 {
 			resident = 1
 		}
-		hasher := hashjoin.NewHasher(clock, uint32(pass))
+		hasher := spec.newHasher(clock, uint32(pass))
 		var splitter *hashjoin.Splitter
 		if resident < 1 {
 			var err error
@@ -51,7 +51,7 @@ func simpleHash(spec Spec, emit Emit, res *Result) error {
 		if remaining < expect {
 			expect = remaining
 		}
-		table := hashjoin.NewTable(clock, rSchema, spec.RCol, int(expect))
+		table := spec.newTable(clock, rSchema, spec.RCol, int(expect))
 
 		var rNext, sNext *heap.File
 		if splitter != nil {
@@ -89,12 +89,12 @@ func simpleHash(spec Spec, emit Emit, res *Result) error {
 
 		// Step 2: scan S; tuples hashing into the chosen range probe the
 		// table, the rest are passed over (§3.5 step 2).
+		pr := newProber(table, func(t tuple.Tuple) []byte { return sSchema.KeyBytes(t, spec.SCol) },
+			func(s, r tuple.Tuple) { emit(r, s) })
 		err = sCur.Scan(access, func(t tuple.Tuple) bool {
 			h := hasher.Hash(sSchema.KeyBytes(t, spec.SCol))
 			if splitter == nil || splitter.Partition(h) == 0 {
-				table.Probe(h, sSchema.KeyBytes(t, spec.SCol), func(r tuple.Tuple) {
-					emit(r, t)
-				})
+				pr.add(h, t)
 				return true
 			}
 			clock.Moves(1)
@@ -104,6 +104,7 @@ func simpleHash(spec Spec, emit Emit, res *Result) error {
 		if err != nil {
 			return err
 		}
+		pr.flush()
 		if sNext != nil {
 			if err := sNext.Flush(simio.Seq); err != nil {
 				return err

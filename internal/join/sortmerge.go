@@ -48,6 +48,7 @@ func sortMerge(spec Spec, emit Emit, res *Result) error {
 			Input:       simio.Uncharged,
 			Chunks:      spec.SortChunks,
 			Parallelism: spec.Parallelism,
+			NoKernel:    spec.NoCacheKernels,
 		}
 	}
 
